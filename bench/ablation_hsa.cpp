@@ -1,0 +1,54 @@
+// Ablation of the HSA design choices (not a paper table, but the design
+// knobs section V-C calls out): the switching threshold lambda and the
+// 20-frame guard time. Sweeps lambda and guard on the normal level and
+// reports success rate and the fraction of frames driven by IL.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/icoil_controller.hpp"
+#include "mathkit/table.hpp"
+#include "sim/evaluator.hpp"
+
+int main() {
+  using namespace icoil;
+  const auto policy = bench::shared_policy();
+
+  sim::EvalConfig eval_config;
+  eval_config.episodes = bench::episodes_override(15);
+  sim::Evaluator evaluator(eval_config);
+
+  world::ScenarioOptions options;
+  options.difficulty = world::Difficulty::kNormal;
+
+  math::TextTable table(
+      {"lambda", "guard", "success", "IL frames", "time mean [s]"});
+
+  const double lambdas[] = {0.1, 0.3, 1.0, 3.0, 10.0};
+  for (double lambda : lambdas) {
+    for (int guard : {0, 20}) {
+      core::IcoilConfig config;
+      config.hsa.lambda = lambda;
+      config.hsa.guard_frames = guard;
+      const sim::Aggregate agg = evaluator.evaluate(
+          [&] {
+            return std::make_unique<core::IcoilController>(config, *policy);
+          },
+          options, "iCOIL");
+      table.add_row({math::format_double(lambda, 1), std::to_string(guard),
+                     math::format_double(100.0 * agg.success_ratio(), 0) + "%",
+                     math::format_double(100.0 * agg.il_fraction.mean(), 0) + "%",
+                     math::format_double(agg.park_time.mean(), 2)});
+      std::fprintf(stderr, "[ablation] lambda=%.1f guard=%d done\n", lambda,
+                   guard);
+    }
+  }
+
+  std::printf("\nHSA ablation — lambda / guard-time sweep on the normal level "
+              "(%d episodes/cell)\n\n",
+              eval_config.episodes);
+  table.print(std::cout);
+  table.save_csv("ablation_hsa.csv");
+  return 0;
+}

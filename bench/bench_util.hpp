@@ -1,0 +1,26 @@
+#pragma once
+
+// Shared helpers for the figure/table harnesses: trained-policy acquisition
+// and episode-count overrides so quick runs are possible via environment
+// variables (ICOIL_EPISODES, ICOIL_EPOCHS, ICOIL_EXPERT_EPISODES).
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "sim/policy_store.hpp"
+
+namespace icoil::bench {
+
+inline int episodes_override(int fallback) {
+  if (const char* env = std::getenv("ICOIL_EPISODES"))
+    return std::max(1, std::atoi(env));
+  return fallback;
+}
+
+/// The shared trained policy (cached on disk next to the working directory).
+inline std::unique_ptr<il::IlPolicy> shared_policy() {
+  return sim::get_or_train_policy(sim::default_policy_options());
+}
+
+}  // namespace icoil::bench

@@ -1,0 +1,76 @@
+// Fig. 7 of the paper: the HSA scenario-uncertainty series over one iCOIL
+// parking episode, the CO->IL mode switch, and the control commands
+// (reverse engages after the switch; steering settles near zero once the
+// vehicle enters the bay).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/icoil_controller.hpp"
+#include "mathkit/table.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace icoil;
+  const auto policy = bench::shared_policy();
+
+  world::ScenarioOptions options;
+  options.difficulty = world::Difficulty::kEasy;
+  const world::Scenario scenario = world::make_scenario(options, 911);
+
+  sim::SimConfig sim_config;
+  sim_config.record_trace = true;
+  sim::Simulator simulator(sim_config);
+
+  core::IcoilController controller(core::IcoilConfig{}, *policy);
+  const sim::EpisodeResult run = simulator.run(scenario, controller, 911);
+
+  std::printf("Fig. 7 — HSA timeline over one iCOIL episode (seed 911): %s in "
+              "%.1f s, %d mode switches\n\n",
+              sim::to_string(run.outcome), run.park_time, run.mode_switches);
+
+  math::TextTable table({"stamp", "t [s]", "U_i", "C_i (norm)", "U/C", "mode",
+                         "steer", "reverse"});
+  for (std::size_t i = 0; i < run.trace.size(); i += 20) {
+    const sim::FrameRecord& f = run.trace[i];
+    table.add_row({std::to_string(i), math::format_double(f.t, 1),
+                   math::format_double(f.info.uncertainty, 3),
+                   math::format_double(f.info.complexity, 3),
+                   math::format_double(f.info.ratio, 3),
+                   core::to_string(f.info.mode),
+                   math::format_double(f.info.command.steer, 2),
+                   f.info.command.reverse ? "on" : "off"});
+  }
+  table.print(std::cout);
+  table.save_csv("fig7_hsa_timeline.csv");
+
+  // Paper's qualitative claims on this figure.
+  double early_u = 0.0, late_u = 0.0;
+  std::size_t early_n = 0, late_n = 0;
+  std::size_t first_switch = run.trace.size();
+  for (std::size_t i = 0; i < run.trace.size(); ++i) {
+    const auto& f = run.trace[i];
+    if (f.t < run.park_time * 0.3) {
+      early_u += f.info.uncertainty;
+      ++early_n;
+    } else if (f.t > run.park_time * 0.7) {
+      late_u += f.info.uncertainty;
+      ++late_n;
+    }
+    if (first_switch == run.trace.size() && i > 0 &&
+        f.info.mode != run.trace[i - 1].info.mode)
+      first_switch = i;
+  }
+  if (early_n > 0) early_u /= static_cast<double>(early_n);
+  if (late_n > 0) late_u /= static_cast<double>(late_n);
+  std::printf("\nmean uncertainty: first 30%% of episode %.3f, last 30%% %.3f "
+              "(paper: drops and stabilizes late)\n",
+              early_u, late_u);
+  if (first_switch < run.trace.size())
+    std::printf("first mode switch at stamp %zu (t = %.1f s), guard time %d "
+                "frames\n",
+                first_switch, run.trace[first_switch].t,
+                core::HsaConfig{}.guard_frames);
+  return 0;
+}

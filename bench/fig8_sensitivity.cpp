@@ -1,0 +1,53 @@
+// Fig. 8 of the paper: iCOIL parking time under close / remote / random
+// starting points as the number of obstacles grows. The paper's shape:
+// close starts are insensitive to obstacle count; remote and random starts
+// get slower (and noisier) with more obstacles.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/icoil_controller.hpp"
+#include "mathkit/table.hpp"
+#include "sim/evaluator.hpp"
+
+int main() {
+  using namespace icoil;
+  const auto policy = bench::shared_policy();
+
+  sim::EvalConfig eval_config;
+  eval_config.episodes = bench::episodes_override(15);
+  sim::Evaluator evaluator(eval_config);
+
+  math::TextTable table({"start", "#obstacles", "time mean [s]",
+                         "time std [s]", "success"});
+
+  for (auto start : {world::StartClass::kClose, world::StartClass::kRemote,
+                     world::StartClass::kRandom}) {
+    for (int k = 1; k <= 5; ++k) {
+      world::ScenarioOptions options;
+      options.difficulty = world::Difficulty::kNormal;
+      options.start_class = start;
+      options.num_obstacles_override = k;
+      const sim::Aggregate agg = evaluator.evaluate(
+          [&] {
+            return std::make_unique<core::IcoilController>(core::IcoilConfig{},
+                                                           *policy);
+          },
+          options, "iCOIL");
+      table.add_row({world::to_string(start), std::to_string(k),
+                     math::format_double(agg.park_time.mean(), 2),
+                     math::format_double(agg.park_time.stddev(), 2),
+                     math::format_double(100.0 * agg.success_ratio(), 0) + "%"});
+      std::fprintf(stderr, "[fig8] %s / %d obstacles done\n",
+                   world::to_string(start).c_str(), k);
+    }
+  }
+
+  std::printf("\nFig. 8 — iCOIL parking time vs starting point and obstacle "
+              "count (%d episodes/cell)\n\n",
+              eval_config.episodes);
+  table.print(std::cout);
+  table.save_csv("fig8_sensitivity.csv");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Micro-benchmarks of the substrates: the ADMM QP solver, LDLT, Reeds-Shepp
+// word search, hybrid A*, the BEV rasterizer and the conv forward pass.
+// These quantify where a CO frame's milliseconds go.
+
+#include <benchmark/benchmark.h>
+
+#include "co/hybrid_astar.hpp"
+#include "co/reeds_shepp.hpp"
+#include "mathkit/ldlt.hpp"
+#include "mathkit/qp.hpp"
+#include "mathkit/rng.hpp"
+#include "nn/layers.hpp"
+#include "sensing/bev.hpp"
+#include "world/scenario.hpp"
+
+namespace {
+
+using namespace icoil;
+
+math::Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  math::Rng rng(seed);
+  math::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal() * 0.3;
+  math::Matrix m = a.transpose() * a;
+  for (std::size_t i = 0; i < n; ++i) m(i, i) += 1.0;
+  return m;
+}
+
+void BM_LdltFactorSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const math::Matrix m = random_spd(n, 3);
+  std::vector<double> b(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::solve_spd(m, b));
+  }
+}
+BENCHMARK(BM_LdltFactorSolve)->Arg(30)->Arg(90)->Arg(180)->Unit(benchmark::kMicrosecond);
+
+void BM_QpBoxConstrained(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  math::QpProblem p;
+  p.p = random_spd(n, 5);
+  p.q.assign(n, -1.0);
+  p.a = math::Matrix::identity(n);
+  p.l.assign(n, -1.0);
+  p.u.assign(n, 1.0);
+  const math::QpSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(p));
+  }
+}
+BENCHMARK(BM_QpBoxConstrained)->Arg(30)->Arg(90)->Unit(benchmark::kMicrosecond);
+
+void BM_ReedsSheppShortest(benchmark::State& state) {
+  const co::ReedsShepp rs(3.5);
+  math::Rng rng(7);
+  for (auto _ : state) {
+    const geom::Pose2 to{rng.uniform(-10, 10), rng.uniform(-10, 10),
+                         rng.uniform(-3, 3)};
+    benchmark::DoNotOptimize(rs.shortest_path({0, 0, 0}, to));
+  }
+}
+BENCHMARK(BM_ReedsSheppShortest)->Unit(benchmark::kMicrosecond);
+
+void BM_HybridAStarPlan(benchmark::State& state) {
+  world::ScenarioOptions options;
+  options.difficulty = world::Difficulty::kEasy;
+  const world::Scenario sc = world::make_scenario(options, 500);
+  std::vector<geom::Obb> obstacles;
+  for (const auto& o : sc.obstacles)
+    if (!o.dynamic()) obstacles.push_back(o.shape);
+  const co::HybridAStar astar(co::HybridAStarConfig{}, vehicle::VehicleParams{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(astar.plan(sc.start_pose, sc.map.goal_pose,
+                                        obstacles, sc.map.bounds));
+  }
+}
+BENCHMARK(BM_HybridAStarPlan)->Unit(benchmark::kMillisecond);
+
+void BM_BevRasterize(benchmark::State& state) {
+  world::ScenarioOptions options;
+  options.difficulty = world::Difficulty::kNormal;
+  const world::World world{world::make_scenario(options, 5)};
+  const sense::BevRasterizer raster(
+      {static_cast<int>(state.range(0)), 19.2});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(raster.render(world, {25.0, 8.0, 0.4}));
+  }
+}
+BENCHMARK(BM_BevRasterize)->Arg(32)->Arg(48)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+void BM_ConvForward(benchmark::State& state) {
+  nn::Conv2D conv(4, 8, 3, 1);
+  math::Rng rng(1);
+  conv.init(rng);
+  nn::Tensor in({1, 4, 48, 48});
+  for (std::size_t i = 0; i < in.size(); ++i)
+    in[i] = static_cast<float>(rng.uniform());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(in, false));
+  }
+}
+BENCHMARK(BM_ConvForward)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

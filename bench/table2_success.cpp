@@ -1,0 +1,76 @@
+// Table II of the paper: parking time (average / max / min over successful
+// episodes) and success ratio for iCOIL vs the conventional IL baseline on
+// the easy / normal / hard task levels. We additionally report the pure-CO
+// policy as a reference row (not in the paper's table).
+//
+// Paper's reported values for comparison:
+//   easy:   iCOIL 26.02/27.21/24.89 94%   | IL 23.65/25.16/22.52 72%
+//   normal: iCOIL 25.40/26.29/24.01 91%   | IL 25.81/26.54/23.77 36%
+//   hard:   iCOIL 25.72/26.70/24.58 92%   | IL 24.12/26.44/23.31 33%
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/co_controller.hpp"
+#include "core/icoil_controller.hpp"
+#include "core/il_controller.hpp"
+#include "mathkit/table.hpp"
+#include "sim/evaluator.hpp"
+
+int main() {
+  using namespace icoil;
+  const auto policy = bench::shared_policy();
+
+  sim::EvalConfig eval_config;
+  eval_config.episodes = bench::episodes_override(50);
+  sim::Evaluator evaluator(eval_config);
+
+  math::TextTable table({"level", "method", "avg [s]", "max [s]", "min [s]",
+                         "success", "episodes"});
+
+  for (auto level : {world::Difficulty::kEasy, world::Difficulty::kNormal,
+                     world::Difficulty::kHard}) {
+    world::ScenarioOptions options;
+    options.difficulty = level;
+    options.start_class = world::StartClass::kRandom;
+
+    struct Row {
+      const char* name;
+      core::ControllerFactory factory;
+    };
+    const Row rows[] = {
+        {"iCOIL",
+         [&] {
+           return std::make_unique<core::IcoilController>(core::IcoilConfig{},
+                                                          *policy);
+         }},
+        {"IL [2]",
+         [&] { return std::make_unique<core::IlController>(*policy); }},
+        {"CO (ref)",
+         [&] {
+           return std::make_unique<core::CoController>(co::CoPlannerConfig{},
+                                                       vehicle::VehicleParams{});
+         }},
+    };
+
+    for (const Row& row : rows) {
+      const sim::Aggregate agg =
+          evaluator.evaluate(row.factory, options, row.name);
+      table.add_row({world::to_string(level), row.name,
+                     math::format_double(agg.park_time.mean(), 2),
+                     math::format_double(agg.park_time.max(), 2),
+                     math::format_double(agg.park_time.min(), 2),
+                     math::format_double(100.0 * agg.success_ratio(), 0) + "%",
+                     std::to_string(agg.episodes)});
+      std::fprintf(stderr, "[table2] %s / %s done\n",
+                   world::to_string(level).c_str(), row.name);
+    }
+  }
+
+  std::printf("\nTable II — parking time and success ratio (%d episodes/cell)\n\n",
+              eval_config.episodes);
+  table.print(std::cout);
+  table.save_csv("table2_success.csv");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Runs the three controllers (iCOIL, pure IL, pure CO) across the paper's
+// difficulty levels with a handful of seeds each and prints a compact
+// comparison — a smaller, faster version of the Table II harness meant for
+// interactive use.
+//
+// Usage: scenario_sweep [episodes-per-cell]   (default 10)
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/co_controller.hpp"
+#include "core/icoil_controller.hpp"
+#include "core/il_controller.hpp"
+#include "mathkit/table.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/policy_store.hpp"
+
+int main(int argc, char** argv) {
+  using namespace icoil;
+  const int episodes = argc > 1 ? std::atoi(argv[1]) : 10;
+
+  const auto policy = sim::get_or_train_policy(sim::default_policy_options());
+
+  sim::EvalConfig eval_config;
+  eval_config.episodes = episodes;
+  sim::Evaluator evaluator(eval_config);
+
+  math::TextTable table({"level", "method", "success", "collisions", "timeouts",
+                         "time mean [s]", "IL frames"});
+
+  for (auto level : {world::Difficulty::kEasy, world::Difficulty::kNormal,
+                     world::Difficulty::kHard}) {
+    world::ScenarioOptions options;
+    options.difficulty = level;
+
+    const std::pair<const char*, core::ControllerFactory> methods[] = {
+        {"iCOIL",
+         [&] {
+           return std::make_unique<core::IcoilController>(core::IcoilConfig{},
+                                                          *policy);
+         }},
+        {"IL", [&] { return std::make_unique<core::IlController>(*policy); }},
+        {"CO",
+         [&] {
+           return std::make_unique<core::CoController>(co::CoPlannerConfig{},
+                                                       vehicle::VehicleParams{});
+         }},
+    };
+    for (const auto& [name, factory] : methods) {
+      const sim::Aggregate agg = evaluator.evaluate(factory, options, name);
+      table.add_row(
+          {world::to_string(level), name,
+           math::format_double(100.0 * agg.success_ratio(), 0) + "%",
+           std::to_string(agg.collisions), std::to_string(agg.timeouts),
+           math::format_double(agg.park_time.mean(), 1),
+           math::format_double(100.0 * agg.il_fraction.mean(), 0) + "%"});
+    }
+  }
+
+  std::printf("\nScenario sweep (%d episodes per cell)\n\n", episodes);
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,195 @@
+#include "co/hybrid_astar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+
+#include "co/reeds_shepp.hpp"
+#include "geom/angles.hpp"
+
+namespace icoil::co {
+
+namespace {
+
+struct Node {
+  geom::Pose2 pose;
+  int direction = 1;       ///< direction of the arc that reached this node
+  double steer = 0.0;      ///< steer of the arc that reached this node
+  double g = 0.0;
+  int parent = -1;
+  std::vector<geom::Pose2> arc;  ///< poses along the incoming primitive
+};
+
+struct QueueEntry {
+  double f = 0.0;
+  int node = 0;
+  bool operator>(const QueueEntry& o) const { return f > o.f; }
+};
+
+}  // namespace
+
+HybridAStar::HybridAStar(HybridAStarConfig config, vehicle::VehicleParams params)
+    : config_(config), params_(params), model_(params) {}
+
+bool HybridAStar::pose_free(const geom::Pose2& pose,
+                            const std::vector<geom::Obb>& obstacles,
+                            const geom::Aabb& bounds) const {
+  const geom::Obb fp = model_.footprint(pose).inflated(config_.obstacle_margin);
+  for (const geom::Vec2& c : fp.corners())
+    if (!bounds.contains(c)) return false;
+  for (const geom::Obb& o : obstacles)
+    if (geom::overlaps(fp, o)) return false;
+  return true;
+}
+
+RefPath HybridAStar::reeds_shepp_fallback(const geom::Pose2& start,
+                                          const geom::Pose2& goal) const {
+  const ReedsShepp rs(params_.min_turn_radius() * config_.rs_radius_factor);
+  const auto path = rs.shortest_path(start, goal);
+  std::vector<PathPoint> pts;
+  if (path) {
+    for (const RsSample& s : rs.sample(start, *path, config_.sample_step))
+      pts.push_back({s.pose, s.direction, 0.0});
+  } else {
+    pts.push_back({start, 1, 0.0});
+    pts.push_back({goal, 1, 0.0});
+  }
+  return RefPath(std::move(pts));
+}
+
+std::optional<RefPath> HybridAStar::plan(const geom::Pose2& start,
+                                         const geom::Pose2& goal,
+                                         const std::vector<geom::Obb>& obstacles,
+                                         const geom::Aabb& bounds) const {
+  const double radius = params_.min_turn_radius() * config_.rs_radius_factor;
+  const ReedsShepp rs(radius);
+
+  auto heuristic = [&](const geom::Pose2& p) {
+    const double euclid = geom::distance(p.position, goal.position);
+    const auto path = rs.shortest_path(p, goal);
+    return path ? std::max(euclid, rs.length(*path)) : euclid;
+  };
+
+  auto key_of = [&](const geom::Pose2& p, int dir) {
+    const long xi = std::lround(p.x() / config_.xy_resolution);
+    const long yi = std::lround(p.y() / config_.xy_resolution);
+    const double h = geom::wrap_angle_2pi(p.heading);
+    const long ti = std::lround(h / (geom::kTwoPi / config_.heading_bins)) %
+                    config_.heading_bins;
+    return ((xi * 4096 + yi) * 64 + ti) * 2 + (dir > 0 ? 1 : 0);
+  };
+
+  std::vector<Node> nodes;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> open;
+  std::unordered_map<long, double> best_g;
+
+  if (!pose_free(start, obstacles, bounds)) return std::nullopt;
+  nodes.push_back({start, 1, 0.0, 0.0, -1, {}});
+  open.push({heuristic(start), 0});
+  best_g[key_of(start, 1)] = 0.0;
+
+  // Steer levels across [-max_steer, +max_steer].
+  std::vector<double> steers;
+  for (int i = 0; i < config_.num_steer_levels; ++i)
+    steers.push_back(config_.steer_fraction *
+                     (-params_.max_steer +
+                      2.0 * params_.max_steer * i /
+                          (config_.num_steer_levels - 1)));
+
+  const int kArcSubsteps = 4;
+  int expansions = 0;
+  std::vector<RsSample> shot;   // successful analytic expansion
+  int shot_parent = -1;
+
+  while (!open.empty() && expansions < config_.max_expansions) {
+    const QueueEntry top = open.top();
+    open.pop();
+    const int ni = top.node;
+    const Node snapshot = nodes[static_cast<std::size_t>(ni)];
+    ++expansions;
+
+    // Analytic expansion: try a collision-checked Reeds-Shepp shot.
+    if (geom::distance(snapshot.pose.position, goal.position) <
+        config_.rs_shot_radius) {
+      if (const auto path = rs.shortest_path(snapshot.pose, goal)) {
+        const auto samples = rs.sample(snapshot.pose, *path, config_.sample_step);
+        bool free = true;
+        for (const RsSample& s : samples) {
+          if (!pose_free(s.pose, obstacles, bounds)) {
+            free = false;
+            break;
+          }
+        }
+        if (free) {
+          shot = samples;
+          shot_parent = ni;
+          break;
+        }
+      }
+    }
+
+    // Expand motion primitives.
+    for (int dir : {1, -1}) {
+      for (double steer : steers) {
+        geom::Pose2 p = snapshot.pose;
+        std::vector<geom::Pose2> arc;
+        bool free = true;
+        const double ds = dir * config_.step / kArcSubsteps;
+        for (int k = 0; k < kArcSubsteps; ++k) {
+          const double yaw_rate = std::tan(steer) / params_.wheelbase;
+          p.position.x += ds * std::cos(p.heading);
+          p.position.y += ds * std::sin(p.heading);
+          p.heading = geom::wrap_angle(p.heading + ds * yaw_rate);
+          if (!pose_free(p, obstacles, bounds)) {
+            free = false;
+            break;
+          }
+          arc.push_back(p);
+        }
+        if (!free) continue;
+
+        double cost = config_.step * (dir < 0 ? config_.reverse_penalty : 1.0);
+        cost += config_.steer_penalty * std::abs(steer) * config_.step;
+        if (snapshot.parent >= 0 && dir != snapshot.direction)
+          cost += config_.switch_penalty;
+        cost += config_.steer_change_penalty * std::abs(steer - snapshot.steer);
+        const double g = snapshot.g + cost;
+
+        const long key = key_of(p, dir);
+        const auto it = best_g.find(key);
+        if (it != best_g.end() && it->second <= g) continue;
+        best_g[key] = g;
+
+        nodes.push_back({p, dir, steer, g, ni, std::move(arc)});
+        open.push({g + heuristic(p), static_cast<int>(nodes.size()) - 1});
+      }
+    }
+  }
+
+  if (shot_parent < 0) return std::nullopt;
+
+  // Backtrack primitives, then append the analytic expansion.
+  std::vector<PathPoint> pts;
+  {
+    std::vector<int> chain;
+    for (int i = shot_parent; i >= 0; i = nodes[static_cast<std::size_t>(i)].parent)
+      chain.push_back(i);
+    std::reverse(chain.begin(), chain.end());
+    pts.push_back({nodes[static_cast<std::size_t>(chain.front())].pose, 1, 0.0});
+    for (std::size_t c = 1; c < chain.size(); ++c) {
+      const Node& n = nodes[static_cast<std::size_t>(chain[c])];
+      for (const geom::Pose2& ap : n.arc) pts.push_back({ap, n.direction, 0.0});
+    }
+  }
+  for (std::size_t i = 1; i < shot.size(); ++i)
+    pts.push_back({shot[i].pose, shot[i].direction, 0.0});
+  // Ensure the exact goal pose terminates the path.
+  pts.push_back({goal, pts.empty() ? 1 : pts.back().direction, 0.0});
+
+  // Fix up the direction of the first point.
+  if (pts.size() >= 2) pts.front().direction = pts[1].direction;
+  return RefPath(std::move(pts));
+}
+
+}  // namespace icoil::co

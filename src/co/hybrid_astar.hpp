@@ -1,0 +1,65 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "co/refpath.hpp"
+#include "geom/aabb.hpp"
+#include "geom/obb.hpp"
+#include "vehicle/kinematics.hpp"
+
+namespace icoil::co {
+
+/// Tuning of the hybrid-A* search over SE(2).
+struct HybridAStarConfig {
+  double xy_resolution = 0.6;      ///< grid cell size for state binning [m]
+  int heading_bins = 36;           ///< heading discretization (10 degrees)
+  double step = 0.8;               ///< primitive arc length [m]
+  int num_steer_levels = 5;        ///< steer samples across [-max, +max]
+  double reverse_penalty = 1.5;    ///< cost multiplier for reverse arcs
+  double switch_penalty = 2.5;     ///< cost for changing motion direction
+  double steer_penalty = 0.15;     ///< cost per radian of steer per metre
+  double steer_change_penalty = 0.4;
+  double rs_shot_radius = 10.0;    ///< try the analytic expansion inside this
+  double obstacle_margin = 0.1;    ///< extra footprint inflation [m]
+  double sample_step = 0.25;       ///< output waypoint spacing [m]
+  int max_expansions = 60000;
+  /// Curvature headroom so the MPC can correct tracking errors: primitives
+  /// use steer_fraction * max_steer and the Reeds-Shepp radius is scaled by
+  /// rs_radius_factor above the vehicle minimum.
+  double steer_fraction = 0.8;
+  double rs_radius_factor = 1.35;
+};
+
+/// Hybrid A* path planner: searches kinematically feasible motion primitives
+/// on a sparse SE(2) lattice with a Reeds-Shepp analytic expansion near the
+/// goal. Produces the reference waypoints {s*} the CO module tracks.
+class HybridAStar {
+ public:
+  HybridAStar(HybridAStarConfig config, vehicle::VehicleParams params);
+
+  const HybridAStarConfig& config() const { return config_; }
+
+  /// Plan from `start` to `goal` around `obstacles` inside `bounds`.
+  /// Returns nullopt when no path is found within the expansion budget.
+  std::optional<RefPath> plan(const geom::Pose2& start, const geom::Pose2& goal,
+                              const std::vector<geom::Obb>& obstacles,
+                              const geom::Aabb& bounds) const;
+
+  /// Straight-to-goal fallback: a pure Reeds-Shepp path ignoring obstacles.
+  /// Used when the search budget is exhausted (the MPC still avoids
+  /// obstacles locally).
+  RefPath reeds_shepp_fallback(const geom::Pose2& start,
+                               const geom::Pose2& goal) const;
+
+  /// True when the vehicle footprint is collision-free at `pose`.
+  bool pose_free(const geom::Pose2& pose, const std::vector<geom::Obb>& obstacles,
+                 const geom::Aabb& bounds) const;
+
+ private:
+  HybridAStarConfig config_;
+  vehicle::VehicleParams params_;
+  vehicle::BicycleModel model_;
+};
+
+}  // namespace icoil::co

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "co/hybrid_astar.hpp"
+#include "co/refpath.hpp"
+#include "co/trajopt.hpp"
+#include "sensing/detector.hpp"
+#include "vehicle/kinematics.hpp"
+
+namespace icoil::co {
+
+/// Behaviour tuning of the CO driving module.
+struct CoPlannerConfig {
+  TrajOptConfig trajopt;
+  HybridAStarConfig astar;
+  double cruise_speed = 2.0;        ///< forward tracking speed [m/s]
+  double reverse_speed = 0.9;       ///< reverse tracking speed [m/s]
+  double approach_distance = 1.8;   ///< taper speed within this arc of a stop
+  double min_speed = 0.35;          ///< floor of the taper [m/s]
+  double goal_pos_tol = 0.25;       ///< [m] stop commanding when parked
+  double goal_heading_tol = 0.15;   ///< [rad]
+  // Phase handover: the path is tracked one directed segment at a time; the
+  // planner moves to the next segment once the vehicle reaches the segment
+  // end (or is stalled right next to it).
+  double phase_pos_tol = 0.45;      ///< [m]
+  double phase_heading_tol = 0.25;  ///< [rad]
+  double phase_speed_tol = 0.35;    ///< [m/s]
+  double stall_seconds = 3.0;       ///< advance anyway after stalling this long
+  double dt = 0.05;                 ///< control period (for the stall clock)
+  /// Straight run-through added at every direction switch: the vehicle
+  /// crosses the switch pose aligned and at speed, stops on the extension,
+  /// and starts the next maneuver already aligned with its arc.
+  double switch_extension = 0.8;    ///< [m]
+};
+
+/// One directed segment of the reference path with its target waypoints
+/// (including the straight switch extensions).
+struct PathPhase {
+  std::vector<PathPoint> points;  ///< s is cumulative within the phase
+  int direction = 1;
+
+  double length() const { return points.empty() ? 0.0 : points.back().s; }
+};
+
+/// The CO module f_CO of section IV-B: tracks a hybrid-A* reference path
+/// with the SQP MPC and converts the first optimized control into a driving
+/// command. Holds per-episode state (reference path, phase progress, warm
+/// start).
+class CoPlanner {
+ public:
+  CoPlanner(CoPlannerConfig config, vehicle::VehicleParams params);
+
+  const CoPlannerConfig& config() const { return config_; }
+  const RefPath& reference() const { return ref_; }
+  bool has_reference() const { return !ref_.empty(); }
+  const std::vector<PathPhase>& phases() const { return phases_; }
+  std::size_t current_phase() const { return phase_; }
+
+  /// Plan the reference path from `start` to `goal` around the static
+  /// obstacles. Returns false when hybrid A* fails and the Reeds-Shepp
+  /// fallback was used instead.
+  bool plan_reference(const geom::Pose2& start, const geom::Pose2& goal,
+                      const std::vector<geom::Obb>& static_obstacles,
+                      const geom::Aabb& bounds);
+
+  /// Set an externally computed reference (tests / replay). Optional
+  /// obstacles let the switch extensions be collision-checked.
+  void set_reference(RefPath path, std::vector<geom::Obb> static_obstacles = {},
+                     std::optional<geom::Aabb> bounds = std::nullopt);
+
+  /// One control step: track the reference while avoiding `detections`.
+  vehicle::Command act(const vehicle::State& state,
+                       const std::vector<sense::Detection>& detections);
+
+  /// The H target points the MPC would track from `state` (exposed for
+  /// tests and telemetry).
+  std::vector<TargetPoint> build_targets(const vehicle::State& state);
+
+  /// Result of the most recent MPC solve.
+  const TrajOptResult& last_result() const { return last_result_; }
+
+  /// Reset per-episode progress (keeps the reference).
+  void reset_progress();
+
+ private:
+  void rebuild_phases();
+  void maybe_advance_phase(const vehicle::State& state);
+
+  CoPlannerConfig config_;
+  vehicle::VehicleParams params_;
+  vehicle::BicycleModel model_;
+  TrajOpt trajopt_;
+  HybridAStar astar_;
+  RefPath ref_;
+  std::vector<geom::Obb> static_obstacles_;
+  std::optional<geom::Aabb> bounds_;
+  std::vector<PathPhase> phases_;
+  std::size_t phase_ = 0;
+  std::size_t progress_ = 0;   ///< nearest-index hint within the phase
+  int stall_frames_ = 0;
+  std::vector<vehicle::PlannerControl> warm_;
+  TrajOptResult last_result_;
+};
+
+}  // namespace icoil::co

@@ -1,0 +1,210 @@
+#include "co/reeds_shepp.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "geom/angles.hpp"
+
+namespace icoil::co {
+
+namespace {
+
+using geom::kPi;
+
+// Wrap to (-pi, pi].
+double mod2pi(double x) { return geom::wrap_angle(x); }
+
+void polar(double x, double y, double& r, double& theta) {
+  r = std::hypot(x, y);
+  theta = std::atan2(y, x);
+}
+
+struct Word {
+  bool ok = false;
+  double t = 0.0, u = 0.0, v = 0.0;
+};
+
+// --- Base formulas (normalized target (x, y, phi), unit turning radius) ---
+
+Word left_straight_left(double x, double y, double phi) {  // L+ S+ L+
+  Word w;
+  double u, t;
+  polar(x - std::sin(phi), y - 1.0 + std::cos(phi), u, t);
+  if (t >= 0.0) {
+    const double v = mod2pi(phi - t);
+    if (v >= 0.0) {
+      w = {true, t, u, v};
+    }
+  }
+  return w;
+}
+
+Word left_straight_right(double x, double y, double phi) {  // L+ S+ R+
+  Word w;
+  double u1, t1;
+  polar(x + std::sin(phi), y - 1.0 - std::cos(phi), u1, t1);
+  const double u1sq = u1 * u1;
+  if (u1sq >= 4.0) {
+    const double u = std::sqrt(u1sq - 4.0);
+    const double theta = std::atan2(2.0, u);
+    const double t = mod2pi(t1 + theta);
+    const double v = mod2pi(t - phi);
+    if (t >= 0.0 && v >= 0.0) w = {true, t, u, v};
+  }
+  return w;
+}
+
+Word left_right_left(double x, double y, double phi) {  // L+ R- L+ family
+  Word w;
+  double u1, t1;
+  polar(x - std::sin(phi), y - 1.0 + std::cos(phi), u1, t1);
+  if (u1 <= 4.0) {
+    const double u = -2.0 * std::asin(0.25 * u1);
+    const double t = mod2pi(t1 + 0.5 * u + kPi);
+    const double v = mod2pi(phi - t + u);
+    if (t >= 0.0 && u <= 0.0) w = {true, t, u, v};
+  }
+  return w;
+}
+
+Word straight_left_straight(double x, double y, double phi) {  // S L S
+  Word w;
+  phi = mod2pi(phi);
+  if (y > 0.0 && phi > 0.0 && phi < kPi * 0.99) {
+    const double xd = -y / std::tan(phi) + x;
+    const double t = xd - std::tan(phi / 2.0);
+    const double u = phi;
+    const double v = std::hypot(x - xd, y) - std::tan(phi / 2.0);
+    w = {true, t, u, v};
+  } else if (y < 0.0 && phi > 0.0 && phi < kPi * 0.99) {
+    const double xd = -y / std::tan(phi) + x;
+    const double t = xd - std::tan(phi / 2.0);
+    const double u = phi;
+    const double v = -std::hypot(x - xd, y) - std::tan(phi / 2.0);
+    w = {true, t, u, v};
+  }
+  return w;
+}
+
+void push(std::vector<RsPath>& out, const Word& w, const char (&types)[4],
+          double sign_t = 1.0, double sign_u = 1.0, double sign_v = 1.0,
+          bool flip_lr = false) {
+  if (!w.ok) return;
+  auto mapc = [&](char c) {
+    if (!flip_lr) return c;
+    if (c == 'L') return 'R';
+    if (c == 'R') return 'L';
+    return c;
+  };
+  RsPath p;
+  p.segments = {{mapc(types[0]), sign_t * w.t},
+                {mapc(types[1]), sign_u * w.u},
+                {mapc(types[2]), sign_v * w.v}};
+  // Drop zero-length segments for cleanliness.
+  std::erase_if(p.segments,
+                [](const RsSegment& s) { return std::abs(s.length) < 1e-10; });
+  if (p.segments.empty()) return;
+  out.push_back(std::move(p));
+}
+
+// Apply the classic transforms to one family evaluator.
+template <typename F>
+void family(std::vector<RsPath>& out, F base, const char (&types)[4], double x,
+            double y, double phi) {
+  // identity
+  push(out, base(x, y, phi), types);
+  // timeflip: (x,y,phi) -> (-x, y, -phi), all lengths negated
+  push(out, base(-x, y, -phi), types, -1.0, -1.0, -1.0);
+  // reflect: (x,y,phi) -> (x, -y, -phi), L<->R
+  push(out, base(x, -y, -phi), types, 1.0, 1.0, 1.0, /*flip_lr=*/true);
+  // timeflip + reflect
+  push(out, base(-x, -y, phi), types, -1.0, -1.0, -1.0, /*flip_lr=*/true);
+}
+
+}  // namespace
+
+std::vector<RsPath> ReedsShepp::all_paths(const geom::Pose2& from,
+                                          const geom::Pose2& to) const {
+  // Normalize: translate/rotate so `from` is the origin, scale by 1/radius.
+  const geom::Vec2 d = to.position - from.position;
+  const double c = std::cos(from.heading), s = std::sin(from.heading);
+  const double x = (c * d.x + s * d.y) / radius_;
+  const double y = (-s * d.x + c * d.y) / radius_;
+  const double phi = mod2pi(to.heading - from.heading);
+
+  std::vector<RsPath> out;
+  family(out, left_straight_left, "LSL", x, y, phi);
+  family(out, left_straight_right, "LSR", x, y, phi);
+  family(out, left_right_left, "LRL", x, y, phi);
+  // LRL driven backwards: swap roles via the "backwards" transform
+  // (xb, yb) = (x cos phi + y sin phi, x sin phi - y cos phi), word reversed.
+  {
+    const double xb = x * std::cos(phi) + y * std::sin(phi);
+    const double yb = x * std::sin(phi) - y * std::cos(phi);
+    std::vector<RsPath> rev;
+    family(rev, left_right_left, "LRL", xb, yb, phi);
+    for (RsPath& p : rev) {
+      std::reverse(p.segments.begin(), p.segments.end());
+      out.push_back(std::move(p));
+    }
+  }
+  family(out, straight_left_straight, "SLS", x, y, phi);
+  return out;
+}
+
+std::optional<RsPath> ReedsShepp::shortest_path(const geom::Pose2& from,
+                                                const geom::Pose2& to) const {
+  const std::vector<RsPath> all = all_paths(from, to);
+  const RsPath* best = nullptr;
+  double best_len = 1e30;
+  for (const RsPath& p : all) {
+    const double len = p.total();
+    if (len < best_len) {
+      best_len = len;
+      best = &p;
+    }
+  }
+  if (!best) return std::nullopt;
+  return *best;
+}
+
+std::vector<RsSample> ReedsShepp::sample(const geom::Pose2& from,
+                                         const RsPath& path, double step) const {
+  std::vector<RsSample> out;
+  geom::Pose2 pose = from;
+  out.push_back({pose, path.segments.empty()
+                           ? 1
+                           : (path.segments.front().length >= 0.0 ? 1 : -1)});
+
+  for (const RsSegment& seg : path.segments) {
+    const double seg_len_m = std::abs(seg.length) * radius_;
+    if (seg_len_m < 1e-12) continue;
+    const int dir = seg.length >= 0.0 ? 1 : -1;
+    const double kappa = seg.type == 'L' ? 1.0 / radius_
+                         : seg.type == 'R' ? -1.0 / radius_
+                                           : 0.0;
+    const geom::Pose2 seg_start = pose;
+    const int n = std::max(1, static_cast<int>(std::ceil(seg_len_m / step)));
+    for (int i = 1; i <= n; ++i) {
+      const double sd = dir * seg_len_m * static_cast<double>(i) / n;  // signed
+      geom::Pose2 p;
+      if (kappa == 0.0) {
+        p.position = seg_start.position +
+                     geom::Vec2{std::cos(seg_start.heading), std::sin(seg_start.heading)} * sd;
+        p.heading = seg_start.heading;
+      } else {
+        p.heading = geom::wrap_angle(seg_start.heading + kappa * sd);
+        p.position.x = seg_start.position.x +
+                       (std::sin(p.heading) - std::sin(seg_start.heading)) / kappa;
+        p.position.y = seg_start.position.y -
+                       (std::cos(p.heading) - std::cos(seg_start.heading)) / kappa;
+      }
+      out.push_back({p, dir});
+    }
+    pose = out.back().pose;
+  }
+  return out;
+}
+
+}  // namespace icoil::co

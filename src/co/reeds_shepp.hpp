@@ -1,0 +1,67 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geom/pose2.hpp"
+
+namespace icoil::co {
+
+/// One segment of a Reeds-Shepp word: an arc (left/right at the minimum
+/// turning radius) or a straight, with a signed normalized length
+/// (negative = driven in reverse).
+struct RsSegment {
+  char type = 'S';       ///< 'L', 'S' or 'R'
+  double length = 0.0;   ///< radius-normalized signed length
+};
+
+/// A candidate Reeds-Shepp path in normalized coordinates.
+struct RsPath {
+  std::vector<RsSegment> segments;
+  /// Sum of |segment lengths| (normalized; multiply by radius for metres).
+  double total() const {
+    double acc = 0.0;
+    for (const RsSegment& s : segments) acc += std::abs(s.length);
+    return acc;
+  }
+};
+
+/// A pose sample along an RS path with its motion direction.
+struct RsSample {
+  geom::Pose2 pose;
+  int direction = 1;  ///< +1 forward, -1 reverse
+};
+
+/// Reeds-Shepp planner for a car with minimum turning radius `radius` that
+/// drives both forwards and backwards. Implements the CSC, CCC and SCS word
+/// families with time-flip/reflection/back transforms — sufficient for
+/// existence between any pair of poses and near-optimal in length, which is
+/// what the hybrid-A* heuristic and analytic expansion need.
+class ReedsShepp {
+ public:
+  explicit ReedsShepp(double radius) : radius_(radius) {}
+
+  double radius() const { return radius_; }
+
+  /// Shortest candidate path from `from` to `to`; nullopt only when the
+  /// poses coincide exactly.
+  std::optional<RsPath> shortest_path(const geom::Pose2& from,
+                                      const geom::Pose2& to) const;
+
+  /// All candidate paths (used by tests to check invariants).
+  std::vector<RsPath> all_paths(const geom::Pose2& from,
+                                const geom::Pose2& to) const;
+
+  /// Length in metres of a normalized path.
+  double length(const RsPath& path) const { return path.total() * radius_; }
+
+  /// Sample a path from `from` every `step` metres (always includes the
+  /// exact endpoint).
+  std::vector<RsSample> sample(const geom::Pose2& from, const RsPath& path,
+                               double step) const;
+
+ private:
+  double radius_;
+};
+
+}  // namespace icoil::co

@@ -1,0 +1,53 @@
+#include "co/refpath.hpp"
+
+#include <algorithm>
+
+namespace icoil::co {
+
+RefPath::RefPath(std::vector<PathPoint> points) : points_(std::move(points)) {
+  // Recompute cumulative arc length so constructors don't need to.
+  double s = 0.0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (i > 0)
+      s += geom::distance(points_[i - 1].pose.position, points_[i].pose.position);
+    points_[i].s = s;
+  }
+}
+
+std::size_t RefPath::nearest_index(geom::Vec2 p, std::size_t hint,
+                                   std::size_t window) const {
+  if (points_.empty()) return 0;
+  const std::size_t begin = std::min(hint, points_.size() - 1);
+  const std::size_t end =
+      window == static_cast<std::size_t>(-1)
+          ? points_.size()
+          : std::min(points_.size(), begin + window);
+  std::size_t best = begin;
+  double best_d = geom::distance_sq(points_[begin].pose.position, p);
+  for (std::size_t i = begin + 1; i < end; ++i) {
+    const double d = geom::distance_sq(points_[i].pose.position, p);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t RefPath::index_at_arc(double s) const {
+  if (points_.empty()) return 0;
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), s,
+      [](const PathPoint& p, double value) { return p.s < value; });
+  if (it == points_.end()) return points_.size() - 1;
+  return static_cast<std::size_t>(it - points_.begin());
+}
+
+int RefPath::num_direction_switches() const {
+  int switches = 0;
+  for (std::size_t i = 1; i < points_.size(); ++i)
+    if (points_[i].direction != points_[i - 1].direction) ++switches;
+  return switches;
+}
+
+}  // namespace icoil::co

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/pose2.hpp"
+
+namespace icoil::co {
+
+/// One waypoint of a reference path: pose, motion direction and cumulative
+/// arc length. These are the target waypoints {s*} of eq. (4).
+struct PathPoint {
+  geom::Pose2 pose;
+  int direction = 1;  ///< +1 forward, -1 reverse
+  double s = 0.0;     ///< cumulative |arc length| from the start [m]
+};
+
+/// A piecewise reference path produced by the hybrid-A* planner (or a
+/// Reeds-Shepp fallback). Immutable after construction.
+class RefPath {
+ public:
+  RefPath() = default;
+  explicit RefPath(std::vector<PathPoint> points);
+
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+  const PathPoint& operator[](std::size_t i) const { return points_[i]; }
+  const PathPoint& front() const { return points_.front(); }
+  const PathPoint& back() const { return points_.back(); }
+  const std::vector<PathPoint>& points() const { return points_; }
+
+  double length() const { return points_.empty() ? 0.0 : points_.back().s; }
+
+  /// Index of the waypoint closest to `p`, searched in
+  /// [hint, min(hint+window, size)) — monotone progress tracking.
+  std::size_t nearest_index(geom::Vec2 p, std::size_t hint = 0,
+                            std::size_t window = static_cast<std::size_t>(-1)) const;
+
+  /// First index at arc length >= s (clamped to the last index).
+  std::size_t index_at_arc(double s) const;
+
+  /// Number of direction switches along the path (a parking path usually
+  /// has at least one: forward approach, reverse into the bay).
+  int num_direction_switches() const;
+
+ private:
+  std::vector<PathPoint> points_;
+};
+
+}  // namespace icoil::co

@@ -1,0 +1,73 @@
+#include "core/hsa.hpp"
+
+#include <cmath>
+
+namespace icoil::core {
+
+const char* to_string(Mode m) { return m == Mode::kIl ? "IL" : "CO"; }
+
+void Hsa::reset() {
+  entropies_.clear();
+  complexities_.clear();
+}
+
+double Hsa::instant_complexity(const std::vector<double>& distances) const {
+  double sum = 0.0;
+  for (double d : distances) sum += std::exp(-std::abs(config_.d0 - d));
+  const double base = config_.horizon * (config_.action_dim + sum);
+  return std::pow(base, 3.5);
+}
+
+void Hsa::push(double entropy, const std::vector<double>& distances) {
+  entropies_.push_back(entropy);
+  complexities_.push_back(instant_complexity(distances));
+  while (entropies_.size() > static_cast<std::size_t>(config_.window))
+    entropies_.pop_front();
+  while (complexities_.size() > static_cast<std::size_t>(config_.window))
+    complexities_.pop_front();
+}
+
+double Hsa::uncertainty() const {
+  if (entropies_.empty()) return 0.0;
+  double acc = 0.0;
+  for (double e : entropies_) acc += e;
+  return acc / static_cast<double>(entropies_.size());
+}
+
+double Hsa::complexity() const {
+  if (complexities_.empty()) return complexity_base();
+  double acc = 0.0;
+  for (double c : complexities_) acc += c;
+  return acc / static_cast<double>(complexities_.size());
+}
+
+double Hsa::complexity_base() const {
+  return std::pow(static_cast<double>(config_.horizon) * (config_.action_dim + 1),
+                  3.5);
+}
+
+double Hsa::normalized_complexity() const {
+  return complexity() / complexity_base();
+}
+
+double Hsa::ratio() const {
+  const double c = normalized_complexity();
+  return c > 1e-12 ? uncertainty() / c : 0.0;
+}
+
+Mode ModeSwitcher::update(double ratio) {
+  ++frames_since_switch_;
+  const Mode desired = ratio > config_.lambda ? Mode::kCo : Mode::kIl;
+  if (desired != mode_ && frames_since_switch_ >= config_.guard_frames) {
+    mode_ = desired;
+    frames_since_switch_ = 0;
+  }
+  return mode_;
+}
+
+void ModeSwitcher::reset(Mode initial) {
+  mode_ = initial;
+  frames_since_switch_ = 1 << 20;
+}
+
+}  // namespace icoil::core

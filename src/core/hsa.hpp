@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace icoil::core {
+
+/// Working modes of the iCOIL controller (eq. 1).
+enum class Mode { kIl, kCo };
+
+const char* to_string(Mode m);
+
+/// HSA tuning. `lambda` applies to the normalized ratio U / (C / C_base)
+/// where C_base = [H (Na + 1)]^{3.5} — the complexity of one obstacle held
+/// at the most dangerous distance. The raw eq.-(8) value spans orders of
+/// magnitude (power 3.5), so normalizing keeps lambda O(1) across levels;
+/// the decision rule is unchanged (monotone rescaling of the threshold).
+struct HsaConfig {
+  int window = 20;        ///< T, frames averaged by eqs. (7)-(8)
+  double lambda = 0.2;    ///< switching threshold of eq. (1)
+  int guard_frames = 20;  ///< hold-off after a switch (section V-C)
+  int horizon = 15;       ///< H of eq. (8) (the CO prediction horizon)
+  int action_dim = 2;     ///< Na of eq. (8) (accel, steer)
+  double d0 = 1.2;        ///< D0, most dangerous obstacle distance [m]
+};
+
+/// Hybrid scenario analysis (section IV-C): tracks the windowed scenario
+/// uncertainty U_i (entropy of the IL softmax, eq. 7) and the windowed
+/// scenario complexity C_i (CO solve-cost proxy, eq. 8).
+class Hsa {
+ public:
+  explicit Hsa(HsaConfig config = {}) : config_(config) {}
+
+  const HsaConfig& config() const { return config_; }
+
+  void reset();
+
+  /// Record one frame: the IL output entropy omega_i and the distances
+  /// D_{i,k} from the ego to each detected obstacle.
+  void push(double entropy, const std::vector<double>& obstacle_distances);
+
+  /// Instantaneous complexity term [H (Na + sum_k e^{-|D0 - D_k|})]^{3.5}.
+  double instant_complexity(const std::vector<double>& obstacle_distances) const;
+
+  /// U_i — mean entropy over the last T frames (eq. 7).
+  double uncertainty() const;
+  /// C_i — mean complexity over the last T frames (eq. 8), raw scale.
+  double complexity() const;
+  /// C_i normalized by C_base (see HsaConfig).
+  double normalized_complexity() const;
+  /// f_HSA = U_i / C_i (normalized); large ratio -> CO mode.
+  double ratio() const;
+  /// Normalization constant C_base = [H (Na + 1)]^{3.5}.
+  double complexity_base() const;
+
+  std::size_t frames() const { return entropies_.size(); }
+
+ private:
+  HsaConfig config_;
+  std::deque<double> entropies_;
+  std::deque<double> complexities_;
+};
+
+/// Guard-time mode switcher implementing eq. (1): IL when the HSA ratio is
+/// <= lambda, CO otherwise, with a hold-off of `guard_frames` after every
+/// switch to smooth transitions.
+class ModeSwitcher {
+ public:
+  explicit ModeSwitcher(const HsaConfig& config, Mode initial = Mode::kCo)
+      : config_(config), mode_(initial) {}
+
+  Mode mode() const { return mode_; }
+  int frames_since_switch() const { return frames_since_switch_; }
+
+  /// Advance one frame with the current HSA ratio; returns the active mode.
+  Mode update(double ratio);
+
+  void reset(Mode initial = Mode::kCo);
+
+ private:
+  HsaConfig config_;
+  Mode mode_;
+  int frames_since_switch_ = 1 << 20;  // no guard on the first decision
+};
+
+}  // namespace icoil::core

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <memory>
+
+#include "co/planner.hpp"
+#include "core/controller.hpp"
+#include "core/hsa.hpp"
+#include "core/safety.hpp"
+#include "il/policy.hpp"
+#include "sensing/bev.hpp"
+#include "sensing/detector.hpp"
+#include "sensing/noise.hpp"
+
+namespace icoil::core {
+
+/// Top-level configuration of the iCOIL controller.
+struct IcoilConfig {
+  HsaConfig hsa;
+  co::CoPlannerConfig co;
+  vehicle::VehicleParams vehicle;
+  /// Optional IL-mode safety guard (extension; disabled by default).
+  SafetyConfig safety;
+};
+
+/// The paper's contribution: the scenario-aware hybrid controller. Every
+/// frame it (a) runs the IL network to obtain the action distribution and
+/// its entropy, (b) measures obstacle distances for the complexity model,
+/// (c) lets HSA + the guard-time switcher choose the working mode (eq. 1),
+/// and (d) executes either the IL action or the CO-optimized action.
+class IcoilController final : public Controller {
+ public:
+  IcoilController(IcoilConfig config, const il::IlPolicy& trained_policy);
+
+  std::string name() const override { return "iCOIL"; }
+  void reset(const world::Scenario& scenario) override;
+  vehicle::Command act(const world::World& world, const vehicle::State& state,
+                       math::Rng& rng) override;
+  const FrameInfo& last_frame() const override { return frame_; }
+
+  const Hsa& hsa() const { return hsa_; }
+  Mode mode() const { return switcher_.mode(); }
+  co::CoPlanner& planner() { return planner_; }
+  const SafetyMonitor& safety() const { return safety_; }
+
+ private:
+  IcoilConfig config_;
+  std::unique_ptr<il::IlPolicy> policy_;
+  sense::BevRasterizer rasterizer_;
+  std::unique_ptr<sense::ImageNoise> noise_;
+  std::unique_ptr<sense::Detector> detector_;
+  co::CoPlanner planner_;
+  Hsa hsa_;
+  ModeSwitcher switcher_;
+  SafetyMonitor safety_;
+  vehicle::BicycleModel model_;
+  FrameInfo frame_;
+};
+
+}  // namespace icoil::core

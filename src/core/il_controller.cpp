@@ -1,0 +1,38 @@
+#include "core/il_controller.hpp"
+
+#include <chrono>
+
+#include "il/observation.hpp"
+
+namespace icoil::core {
+
+IlController::IlController(const il::IlPolicy& trained_policy)
+    : policy_(trained_policy.clone()), rasterizer_(trained_policy.bev_spec()) {}
+
+void IlController::reset(const world::Scenario& scenario) {
+  noise_ = std::make_unique<sense::ImageNoise>(scenario.noise);
+  frame_ = {};
+  frame_.mode = Mode::kIl;
+}
+
+vehicle::Command IlController::act(const world::World& world,
+                                   const vehicle::State& state, math::Rng& rng) {
+  const auto t0 = std::chrono::steady_clock::now();
+  sense::BevImage bev = rasterizer_.render(world, state.pose);
+  if (noise_) noise_->apply(bev, rng);
+  const il::Inference inf =
+      policy_->infer(il::make_observation(bev, state.speed));
+  frame_.mode = Mode::kIl;
+  frame_.entropy = inf.entropy;
+  frame_.uncertainty = inf.entropy;
+  frame_.complexity = 0.0;
+  frame_.ratio = 0.0;
+  frame_.command = inf.command;
+  frame_.solve_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  return inf.command;
+}
+
+}  // namespace icoil::core

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <memory>
+
+#include "core/controller.hpp"
+#include "il/policy.hpp"
+#include "sensing/bev.hpp"
+#include "sensing/noise.hpp"
+
+namespace icoil::core {
+
+/// The conventional pure-IL baseline of the paper's comparison ([2] in the
+/// paper): a DNN maps the BEV image directly to a discretized action every
+/// frame. Owns a private clone of the trained policy (network forward
+/// passes cache activations and cannot be shared).
+class IlController final : public Controller {
+ public:
+  explicit IlController(const il::IlPolicy& trained_policy);
+
+  std::string name() const override { return "IL"; }
+  void reset(const world::Scenario& scenario) override;
+  vehicle::Command act(const world::World& world, const vehicle::State& state,
+                       math::Rng& rng) override;
+  const FrameInfo& last_frame() const override { return frame_; }
+
+  /// Direct access to the policy inference for tests.
+  il::IlPolicy& policy() { return *policy_; }
+
+ private:
+  std::unique_ptr<il::IlPolicy> policy_;
+  sense::BevRasterizer rasterizer_;
+  std::unique_ptr<sense::ImageNoise> noise_;
+  FrameInfo frame_;
+};
+
+}  // namespace icoil::core

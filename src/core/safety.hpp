@@ -1,0 +1,48 @@
+#pragma once
+
+#include "vehicle/kinematics.hpp"
+#include "world/world.hpp"
+
+namespace icoil::core {
+
+/// Settings for the forward-simulation safety guard.
+struct SafetyConfig {
+  bool enabled = false;     ///< off by default: the paper's iCOIL has no guard
+  double horizon = 1.2;     ///< seconds of look-ahead
+  double dt = 0.1;          ///< rollout step
+  double margin = 0.05;     ///< extra footprint inflation [m]
+};
+
+/// Optional safety monitor (an extension, not part of the paper's design):
+/// forward-simulates a proposed command under the bicycle model and
+/// overrides it with a full stop when the rollout collides within the
+/// look-ahead horizon. This emulates the "bounded actions inside a safety
+/// region" property the paper attributes to optimization-based methods and
+/// can be layered over the IL working mode.
+class SafetyMonitor {
+ public:
+  explicit SafetyMonitor(SafetyConfig config = {},
+                         vehicle::VehicleParams params = {})
+      : config_(config), model_(params) {}
+
+  const SafetyConfig& config() const { return config_; }
+  /// Number of commands overridden since construction/reset.
+  int interventions() const { return interventions_; }
+  void reset() { interventions_ = 0; }
+
+  /// Returns `proposed` when its rollout is collision-free, otherwise a
+  /// full-stop command.
+  vehicle::Command filter(const world::World& world, const vehicle::State& state,
+                          const vehicle::Command& proposed);
+
+  /// True when holding `cmd` from `state` collides within the horizon.
+  bool rollout_collides(const world::World& world, const vehicle::State& state,
+                        const vehicle::Command& cmd) const;
+
+ private:
+  SafetyConfig config_;
+  vehicle::BicycleModel model_;
+  int interventions_ = 0;
+};
+
+}  // namespace icoil::core

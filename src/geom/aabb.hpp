@@ -1,0 +1,47 @@
+#pragma once
+
+#include <algorithm>
+
+#include "geom/vec2.hpp"
+
+namespace icoil::geom {
+
+/// Axis-aligned bounding box (min/max corners).
+struct Aabb {
+  Vec2 min{1e300, 1e300};
+  Vec2 max{-1e300, -1e300};
+
+  static Aabb from_center(Vec2 center, double half_w, double half_h) {
+    return {{center.x - half_w, center.y - half_h},
+            {center.x + half_w, center.y + half_h}};
+  }
+
+  bool valid() const { return min.x <= max.x && min.y <= max.y; }
+  double width() const { return max.x - min.x; }
+  double height() const { return max.y - min.y; }
+  Vec2 center() const { return (min + max) * 0.5; }
+
+  void expand(Vec2 p) {
+    min.x = std::min(min.x, p.x);
+    min.y = std::min(min.y, p.y);
+    max.x = std::max(max.x, p.x);
+    max.y = std::max(max.y, p.y);
+  }
+  void expand(const Aabb& o) {
+    expand(o.min);
+    expand(o.max);
+  }
+  /// Grow the box outwards by `margin` on every side.
+  Aabb inflated(double margin) const {
+    return {{min.x - margin, min.y - margin}, {max.x + margin, max.y + margin}};
+  }
+
+  bool contains(Vec2 p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  bool overlaps(const Aabb& o) const {
+    return min.x <= o.max.x && o.min.x <= max.x && min.y <= o.max.y && o.min.y <= max.y;
+  }
+};
+
+}  // namespace icoil::geom

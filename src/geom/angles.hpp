@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace icoil::geom {
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Wrap an angle to (-pi, pi].
+inline double wrap_angle(double a) {
+  a = std::fmod(a + kPi, kTwoPi);
+  if (a < 0.0) a += kTwoPi;
+  return a - kPi;
+}
+
+/// Wrap an angle to [0, 2*pi).
+inline double wrap_angle_2pi(double a) {
+  a = std::fmod(a, kTwoPi);
+  if (a < 0.0) a += kTwoPi;
+  return a;
+}
+
+/// Signed shortest rotation taking angle `from` to angle `to`, in (-pi, pi].
+inline double angle_diff(double to, double from) { return wrap_angle(to - from); }
+
+/// Interpolate between two angles along the shortest arc.
+inline double slerp_angle(double a, double b, double t) {
+  return wrap_angle(a + angle_diff(b, a) * t);
+}
+
+inline constexpr double deg2rad(double d) { return d * kPi / 180.0; }
+inline constexpr double rad2deg(double r) { return r * 180.0 / kPi; }
+
+}  // namespace icoil::geom

@@ -1,0 +1,125 @@
+#include "geom/obb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace icoil::geom {
+
+Obb Obb::from_pose(const Pose2& pose, double length, double width,
+                   double longitudinal_offset) {
+  const Vec2 c = pose.to_world({longitudinal_offset, 0.0});
+  return {c, pose.heading, length * 0.5, width * 0.5};
+}
+
+std::array<Vec2, 4> Obb::corners() const {
+  const Vec2 fx = Vec2{std::cos(heading), std::sin(heading)} * half_length;
+  const Vec2 fy = Vec2{-std::sin(heading), std::cos(heading)} * half_width;
+  return {center + fx + fy, center - fx + fy, center - fx - fy, center + fx - fy};
+}
+
+std::array<Segment, 4> Obb::edges() const {
+  const auto c = corners();
+  return {Segment{c[0], c[1]}, Segment{c[1], c[2]}, Segment{c[2], c[3]},
+          Segment{c[3], c[0]}};
+}
+
+Aabb Obb::aabb() const {
+  Aabb box;
+  for (const Vec2& c : corners()) box.expand(c);
+  return box;
+}
+
+bool Obb::contains(Vec2 p) const {
+  const Vec2 local = (p - center).rotated(-heading);
+  return std::abs(local.x) <= half_length && std::abs(local.y) <= half_width;
+}
+
+Vec2 Obb::closest_point(Vec2 p) const {
+  Vec2 local = (p - center).rotated(-heading);
+  local.x = std::clamp(local.x, -half_length, half_length);
+  local.y = std::clamp(local.y, -half_width, half_width);
+  return center + local.rotated(heading);
+}
+
+double Obb::distance_to(Vec2 p) const { return distance(p, closest_point(p)); }
+
+double Obb::signed_distance_to(Vec2 p) const {
+  const Vec2 local = (p - center).rotated(-heading);
+  const double dx = std::abs(local.x) - half_length;
+  const double dy = std::abs(local.y) - half_width;
+  if (dx <= 0.0 && dy <= 0.0) return std::max(dx, dy);  // inside
+  const double cx = std::max(dx, 0.0), cy = std::max(dy, 0.0);
+  return std::hypot(cx, cy);
+}
+
+namespace {
+
+struct Projection {
+  double lo, hi;
+};
+
+Projection project(const Obb& box, Vec2 axis) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (const Vec2& c : box.corners()) {
+    const double v = c.dot(axis);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return {lo, hi};
+}
+
+}  // namespace
+
+bool overlaps(const Obb& a, const Obb& b) {
+  const std::array<Vec2, 4> axes = {
+      Vec2{std::cos(a.heading), std::sin(a.heading)},
+      Vec2{-std::sin(a.heading), std::cos(a.heading)},
+      Vec2{std::cos(b.heading), std::sin(b.heading)},
+      Vec2{-std::sin(b.heading), std::cos(b.heading)}};
+  for (const Vec2& axis : axes) {
+    const Projection pa = project(a, axis);
+    const Projection pb = project(b, axis);
+    if (pa.hi < pb.lo || pb.hi < pa.lo) return false;
+  }
+  return true;
+}
+
+double obb_distance(const Obb& a, const Obb& b) {
+  if (overlaps(a, b)) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  const auto ea = a.edges();
+  const auto eb = b.edges();
+  for (const Segment& s1 : ea)
+    for (const Segment& s2 : eb) best = std::min(best, segment_distance(s1, s2));
+  return best;
+}
+
+std::pair<Vec2, Vec2> closest_points(const Obb& a, const Obb& b) {
+  if (overlaps(a, b)) {
+    const Vec2 mid = (a.center + b.center) * 0.5;
+    return {mid, mid};
+  }
+  double best = std::numeric_limits<double>::infinity();
+  std::pair<Vec2, Vec2> out{a.center, b.center};
+  for (const Vec2& ca : a.corners()) {
+    const Vec2 pb = b.closest_point(ca);
+    const double d = distance(ca, pb);
+    if (d < best) {
+      best = d;
+      out = {ca, pb};
+    }
+  }
+  for (const Vec2& cb : b.corners()) {
+    const Vec2 pa = a.closest_point(cb);
+    const double d = distance(pa, cb);
+    if (d < best) {
+      best = d;
+      out = {pa, cb};
+    }
+  }
+  return out;
+}
+
+}  // namespace icoil::geom

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <array>
+
+#include "geom/aabb.hpp"
+#include "geom/pose2.hpp"
+#include "geom/segment.hpp"
+#include "geom/vec2.hpp"
+
+namespace icoil::geom {
+
+/// Oriented bounding box: rectangle centred at `center`, rotated by `heading`,
+/// with half extents along its local x (length) and y (width) axes.
+/// This is the footprint primitive for vehicles, obstacles and parking bays.
+struct Obb {
+  Vec2 center;
+  double heading = 0.0;
+  double half_length = 0.5;  ///< half extent along local x
+  double half_width = 0.5;   ///< half extent along local y
+
+  Obb() = default;
+  Obb(Vec2 c, double h, double hl, double hw)
+      : center(c), heading(h), half_length(hl), half_width(hw) {}
+
+  static Obb from_pose(const Pose2& pose, double length, double width,
+                       double longitudinal_offset = 0.0);
+
+  Pose2 pose() const { return {center, heading}; }
+  double length() const { return 2.0 * half_length; }
+  double width() const { return 2.0 * half_width; }
+  double area() const { return length() * width(); }
+
+  /// Corners in counter-clockwise order (front-left first in local frame).
+  std::array<Vec2, 4> corners() const;
+  std::array<Segment, 4> edges() const;
+  Aabb aabb() const;
+
+  /// Inflate both half extents by `margin` (Minkowski-style safety margin).
+  Obb inflated(double margin) const {
+    return {center, heading, half_length + margin, half_width + margin};
+  }
+
+  bool contains(Vec2 p) const;
+  /// Closest point on the box boundary or interior to `p`.
+  Vec2 closest_point(Vec2 p) const;
+  /// Distance from `p` to the box (0 when inside).
+  double distance_to(Vec2 p) const;
+  /// Signed distance: negative inside, positive outside.
+  double signed_distance_to(Vec2 p) const;
+};
+
+/// Separating-axis overlap test for two oriented boxes.
+bool overlaps(const Obb& a, const Obb& b);
+
+/// Minimum distance between two oriented boxes (0 when overlapping).
+double obb_distance(const Obb& a, const Obb& b);
+
+/// Closest pair of points (on a, on b); both equal when overlapping.
+std::pair<Vec2, Vec2> closest_points(const Obb& a, const Obb& b);
+
+}  // namespace icoil::geom

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "geom/angles.hpp"
+#include "geom/vec2.hpp"
+
+namespace icoil::geom {
+
+/// SE(2) pose: position in metres, heading in radians (wrapped by callers).
+struct Pose2 {
+  Vec2 position;
+  double heading = 0.0;
+
+  constexpr Pose2() = default;
+  constexpr Pose2(Vec2 p, double h) : position(p), heading(h) {}
+  constexpr Pose2(double x, double y, double h) : position(x, y), heading(h) {}
+
+  double x() const { return position.x; }
+  double y() const { return position.y; }
+
+  /// Unit vector along the heading.
+  Vec2 forward() const { return {std::cos(heading), std::sin(heading)}; }
+  /// Unit vector to the left of the heading.
+  Vec2 left() const { return forward().perp(); }
+
+  /// Map a point expressed in this pose's local frame into the world frame.
+  Vec2 to_world(Vec2 local) const { return position + local.rotated(heading); }
+  /// Map a world-frame point into this pose's local frame.
+  Vec2 to_local(Vec2 world) const { return (world - position).rotated(-heading); }
+
+  /// Compose: apply `delta` (expressed in this pose's frame) after this pose.
+  Pose2 compose(const Pose2& delta) const {
+    return {to_world(delta.position), wrap_angle(heading + delta.heading)};
+  }
+  /// Inverse pose such that compose(inverse()) is identity.
+  Pose2 inverse() const {
+    return {(-position).rotated(-heading), wrap_angle(-heading)};
+  }
+};
+
+/// Euclidean distance between pose positions.
+inline double distance(const Pose2& a, const Pose2& b) {
+  return distance(a.position, b.position);
+}
+
+/// Weighted SE(2) distance used for goal tolerance checks.
+inline double se2_distance(const Pose2& a, const Pose2& b, double heading_weight = 1.0) {
+  return distance(a.position, b.position) +
+         heading_weight * std::abs(angle_diff(a.heading, b.heading));
+}
+
+}  // namespace icoil::geom

@@ -1,0 +1,50 @@
+#include "geom/segment.hpp"
+
+#include <algorithm>
+
+namespace icoil::geom {
+
+Vec2 Segment::closest_point(Vec2 p) const {
+  const Vec2 d = b - a;
+  const double len_sq = d.norm_sq();
+  if (len_sq <= 0.0) return a;
+  const double t = std::clamp((p - a).dot(d) / len_sq, 0.0, 1.0);
+  return a + d * t;
+}
+
+namespace {
+
+int orientation(Vec2 p, Vec2 q, Vec2 r) {
+  const double v = (q - p).cross(r - p);
+  if (v > 1e-12) return 1;
+  if (v < -1e-12) return -1;
+  return 0;
+}
+
+bool on_segment(Vec2 p, Vec2 q, Vec2 r) {
+  return std::min(p.x, r.x) - 1e-12 <= q.x && q.x <= std::max(p.x, r.x) + 1e-12 &&
+         std::min(p.y, r.y) - 1e-12 <= q.y && q.y <= std::max(p.y, r.y) + 1e-12;
+}
+
+}  // namespace
+
+bool Segment::intersects(const Segment& o) const {
+  const int o1 = orientation(a, b, o.a);
+  const int o2 = orientation(a, b, o.b);
+  const int o3 = orientation(o.a, o.b, a);
+  const int o4 = orientation(o.a, o.b, b);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && on_segment(a, o.a, b)) return true;
+  if (o2 == 0 && on_segment(a, o.b, b)) return true;
+  if (o3 == 0 && on_segment(o.a, a, o.b)) return true;
+  if (o4 == 0 && on_segment(o.a, b, o.b)) return true;
+  return false;
+}
+
+double segment_distance(const Segment& s1, const Segment& s2) {
+  if (s1.intersects(s2)) return 0.0;
+  return std::min({s1.distance_to(s2.a), s1.distance_to(s2.b),
+                   s2.distance_to(s1.a), s2.distance_to(s1.b)});
+}
+
+}  // namespace icoil::geom

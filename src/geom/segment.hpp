@@ -1,0 +1,26 @@
+#pragma once
+
+#include "geom/vec2.hpp"
+
+namespace icoil::geom {
+
+/// Line segment between two points.
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  Vec2 direction() const { return (b - a).normalized(); }
+  double length() const { return distance(a, b); }
+
+  /// Closest point on the segment to `p`.
+  Vec2 closest_point(Vec2 p) const;
+  /// Distance from `p` to the segment.
+  double distance_to(Vec2 p) const { return distance(p, closest_point(p)); }
+  /// True if the two segments intersect (including touching).
+  bool intersects(const Segment& other) const;
+};
+
+/// Minimum distance between two segments (0 when they intersect).
+double segment_distance(const Segment& s1, const Segment& s2);
+
+}  // namespace icoil::geom

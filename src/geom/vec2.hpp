@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cmath>
+
+namespace icoil::geom {
+
+/// 2-D vector in metres (world frame unless stated otherwise).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  Vec2& operator+=(Vec2 o) { x += o.x; y += o.y; return *this; }
+  Vec2& operator-=(Vec2 o) { x -= o.x; y -= o.y; return *this; }
+  Vec2& operator*=(double s) { x *= s; y *= s; return *this; }
+
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3-D cross product (positive = counter-clockwise).
+  constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+  double norm() const { return std::hypot(x, y); }
+  constexpr double norm_sq() const { return x * x + y * y; }
+  /// Unit vector; returns {0,0} for the zero vector.
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+  /// Perpendicular vector, rotated +90 degrees.
+  constexpr Vec2 perp() const { return {-y, x}; }
+  /// Rotate counter-clockwise by `angle` radians.
+  Vec2 rotated(double angle) const {
+    const double c = std::cos(angle), s = std::sin(angle);
+    return {c * x - s * y, s * x + c * y};
+  }
+  double angle() const { return std::atan2(y, x); }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+inline constexpr double distance_sq(Vec2 a, Vec2 b) { return (a - b).norm_sq(); }
+
+/// Linear interpolation, t in [0,1] maps a -> b.
+constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) { return a + (b - a) * t; }
+
+inline bool almost_equal(Vec2 a, Vec2 b, double eps = 1e-9) {
+  return std::abs(a.x - b.x) <= eps && std::abs(a.y - b.y) <= eps;
+}
+
+}  // namespace icoil::geom

@@ -1,0 +1,58 @@
+#include "il/action.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace icoil::il {
+
+const std::vector<double>& ActionDiscretizer::steer_levels() {
+  static const std::vector<double> kLevels = {-1.0, -0.5, 0.0, 0.5, 1.0};
+  return kLevels;
+}
+
+int ActionDiscretizer::to_class(const vehicle::Command& raw) {
+  const vehicle::Command cmd = raw.clamped();
+  // Longitudinal bin: braking wins when brake dominates throttle.
+  int lbin;
+  if (cmd.brake >= cmd.throttle)
+    lbin = 1;  // brake / hold
+  else
+    lbin = cmd.reverse ? 2 : 0;
+
+  // Nearest steer level.
+  int sbin = 0;
+  double best = 1e9;
+  const auto& levels = steer_levels();
+  for (int i = 0; i < kSteerBins; ++i) {
+    const double d = std::abs(cmd.steer - levels[static_cast<std::size_t>(i)]);
+    if (d < best) {
+      best = d;
+      sbin = i;
+    }
+  }
+  return make_class(lbin, sbin);
+}
+
+vehicle::Command ActionDiscretizer::to_command(int class_id) {
+  const int lbin = long_bin(class_id);
+  const int sbin = steer_bin(class_id);
+  vehicle::Command cmd;
+  cmd.steer = steer_levels()[static_cast<std::size_t>(sbin)];
+  switch (lbin) {
+    case 0:  // forward
+      cmd.throttle = 0.5;
+      break;
+    case 1:  // brake
+      cmd.brake = 0.8;
+      break;
+    case 2:  // reverse
+      cmd.throttle = 0.45;
+      cmd.reverse = true;
+      break;
+    default:
+      break;
+  }
+  return cmd;
+}
+
+}  // namespace icoil::il

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "vehicle/command.hpp"
+
+namespace icoil::il {
+
+/// Discretization of the continuous driving action into M classes
+/// (section IV-A formulates IL as multi-category classification).
+/// Classes are the cross product of steer bins and longitudinal bins:
+/// steer in {-1, -0.5, 0, +0.5, +1} x {forward, brake, reverse}.
+class ActionDiscretizer {
+ public:
+  static constexpr int kSteerBins = 5;
+  static constexpr int kLongBins = 3;  // 0 = forward, 1 = brake, 2 = reverse
+  static constexpr int kNumClasses = kSteerBins * kLongBins;
+
+  /// Representative steer fraction of each steer bin.
+  static const std::vector<double>& steer_levels();
+
+  /// Number of classes M.
+  static constexpr int num_classes() { return kNumClasses; }
+
+  /// Map a continuous command onto the nearest class id.
+  static int to_class(const vehicle::Command& cmd);
+
+  /// Representative command executed for a class id.
+  static vehicle::Command to_command(int class_id);
+
+  static int steer_bin(int class_id) { return class_id % kSteerBins; }
+  static int long_bin(int class_id) { return class_id / kSteerBins; }
+  static int make_class(int long_bin, int steer_bin) {
+    return long_bin * kSteerBins + steer_bin;
+  }
+};
+
+}  // namespace icoil::il

@@ -1,0 +1,118 @@
+#include "il/dataset.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <fstream>
+
+namespace icoil::il {
+
+std::vector<std::size_t> Dataset::class_histogram(int num_classes) const {
+  std::vector<std::size_t> hist(static_cast<std::size_t>(num_classes), 0);
+  for (const Sample& s : samples_)
+    if (s.label >= 0 && s.label < num_classes) ++hist[static_cast<std::size_t>(s.label)];
+  return hist;
+}
+
+void Dataset::shuffle(math::Rng& rng) {
+  std::shuffle(samples_.begin(), samples_.end(), rng.engine());
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double validation_fraction) const {
+  const std::size_t val_count = static_cast<std::size_t>(
+      static_cast<double>(samples_.size()) * validation_fraction);
+  const std::size_t train_count = samples_.size() - val_count;
+  Dataset train, val;
+  train.reserve(train_count);
+  val.reserve(val_count);
+  for (std::size_t i = 0; i < samples_.size(); ++i)
+    (i < train_count ? train : val).add(samples_[i]);
+  return {std::move(train), std::move(val)};
+}
+
+std::pair<nn::Tensor, std::vector<int>> Dataset::make_batch(std::size_t begin,
+                                                            std::size_t count) const {
+  assert(begin + count <= samples_.size() && count > 0);
+  const sense::BevImage& first = samples_[begin].observation;
+  const int c = first.channels(), s = first.size();
+  nn::Tensor batch({static_cast<int>(count), c, s, s});
+  std::vector<int> labels(count);
+  const std::size_t stride = first.num_values();
+  for (std::size_t i = 0; i < count; ++i) {
+    const Sample& sample = samples_[begin + i];
+    assert(sample.observation.num_values() == stride);
+    std::copy(sample.observation.data().begin(), sample.observation.data().end(),
+              batch.data() + i * stride);
+    labels[i] = sample.label;
+  }
+  return {std::move(batch), std::move(labels)};
+}
+
+namespace {
+constexpr std::uint32_t kDatasetMagic = 0x1C011D5Eu;
+
+// The speed channel holds values in [-1, 1]; map [-1,1] -> [0,255].
+std::uint8_t quantize(float v) {
+  const float clamped = std::clamp(v, -1.0f, 1.0f);
+  return static_cast<std::uint8_t>(std::lround((clamped + 1.0f) * 127.5f));
+}
+float dequantize(std::uint8_t q) {
+  return static_cast<float>(q) / 127.5f - 1.0f;
+}
+}  // namespace
+
+bool Dataset::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  const std::uint32_t n = static_cast<std::uint32_t>(samples_.size());
+  const std::uint32_t channels =
+      samples_.empty() ? 0 : static_cast<std::uint32_t>(samples_[0].observation.channels());
+  const std::uint32_t size =
+      samples_.empty() ? 0 : static_cast<std::uint32_t>(samples_[0].observation.size());
+  f.write(reinterpret_cast<const char*>(&kDatasetMagic), sizeof(kDatasetMagic));
+  f.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  f.write(reinterpret_cast<const char*>(&channels), sizeof(channels));
+  f.write(reinterpret_cast<const char*>(&size), sizeof(size));
+  std::vector<std::uint8_t> buffer;
+  for (const Sample& s : samples_) {
+    const std::int32_t label = s.label;
+    f.write(reinterpret_cast<const char*>(&label), sizeof(label));
+    buffer.resize(s.observation.num_values());
+    for (std::size_t i = 0; i < buffer.size(); ++i)
+      buffer[i] = quantize(s.observation.data()[i]);
+    f.write(reinterpret_cast<const char*>(buffer.data()),
+            static_cast<std::streamsize>(buffer.size()));
+  }
+  return static_cast<bool>(f);
+}
+
+bool Dataset::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::uint32_t magic = 0, n = 0, channels = 0, size = 0;
+  f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  f.read(reinterpret_cast<char*>(&n), sizeof(n));
+  f.read(reinterpret_cast<char*>(&channels), sizeof(channels));
+  f.read(reinterpret_cast<char*>(&size), sizeof(size));
+  if (magic != kDatasetMagic || !f) return false;
+  std::vector<Sample> loaded;
+  loaded.reserve(n);
+  std::vector<std::uint8_t> buffer(static_cast<std::size_t>(channels) * size * size);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::int32_t label = 0;
+    f.read(reinterpret_cast<char*>(&label), sizeof(label));
+    f.read(reinterpret_cast<char*>(buffer.data()),
+           static_cast<std::streamsize>(buffer.size()));
+    if (!f) return false;
+    Sample s;
+    s.observation = sense::BevImage(static_cast<int>(channels), static_cast<int>(size));
+    for (std::size_t j = 0; j < buffer.size(); ++j)
+      s.observation.data()[j] = dequantize(buffer[j]);
+    s.label = label;
+    loaded.push_back(std::move(s));
+  }
+  samples_ = std::move(loaded);
+  return true;
+}
+
+}  // namespace icoil::il

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mathkit/rng.hpp"
+#include "nn/tensor.hpp"
+#include "sensing/bev.hpp"
+
+namespace icoil::il {
+
+/// One behaviour-cloning sample: a BEV observation and the expert's
+/// discretized action class.
+struct Sample {
+  sense::BevImage observation;
+  int label = 0;
+};
+
+/// The demonstration dataset D of eq. (2). Stores samples, shuffles
+/// deterministically, splits train/validation and assembles batch tensors.
+class Dataset {
+ public:
+  void add(Sample sample) { samples_.push_back(std::move(sample)); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const Sample& operator[](std::size_t i) const { return samples_[i]; }
+
+  /// Per-class sample counts (distribution diagnostics / class balance).
+  std::vector<std::size_t> class_histogram(int num_classes) const;
+
+  void shuffle(math::Rng& rng);
+
+  /// Split off the last `fraction` of samples as a validation set.
+  std::pair<Dataset, Dataset> split(double validation_fraction) const;
+
+  /// Assemble samples [begin, begin+count) into an input tensor (N,C,H,W)
+  /// and a label vector.
+  std::pair<nn::Tensor, std::vector<int>> make_batch(std::size_t begin,
+                                                     std::size_t count) const;
+
+  /// Persist to a compact binary file (pixels quantized to 8 bits — the
+  /// observations are occupancy masks plus one constant channel, so the
+  /// quantization is lossless in practice). Returns false on I/O error.
+  bool save(const std::string& path) const;
+  /// Load a dataset saved by `save`. Replaces current contents.
+  bool load(const std::string& path);
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace icoil::il

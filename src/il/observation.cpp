@@ -1,0 +1,18 @@
+#include "il/observation.hpp"
+
+#include <algorithm>
+
+namespace icoil::il {
+
+sense::BevImage make_observation(const sense::BevImage& bev, double ego_speed) {
+  sense::BevImage out(kObservationChannels, bev.size());
+  std::copy(bev.data().begin(), bev.data().end(), out.data().begin());
+  const float v = static_cast<float>(
+      std::clamp(ego_speed / kSpeedNormalization, -1.0, 1.0));
+  const std::size_t plane = static_cast<std::size_t>(bev.size()) * bev.size();
+  float* state = out.data().data() + static_cast<std::size_t>(sense::kBevChannels) * plane;
+  std::fill(state, state + plane, v);
+  return out;
+}
+
+}  // namespace icoil::il

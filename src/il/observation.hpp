@@ -1,0 +1,20 @@
+#pragma once
+
+#include "sensing/bev.hpp"
+
+namespace icoil::il {
+
+/// Number of channels the IL network consumes: the BEV channels plus one
+/// ego-state channel (normalized signed speed, constant across the plane).
+/// The state channel disambiguates the approach phase from the reverse
+/// phase when the scene geometry alone is ambiguous — the DNN controller of
+/// [2] (Chai et al.) similarly feeds vehicle state alongside imagery.
+inline constexpr int kObservationChannels = sense::kBevChannels + 1;
+
+/// Reference speed used to normalize the state channel.
+inline constexpr double kSpeedNormalization = 3.0;
+
+/// Build the network observation: BEV channels + the ego-speed plane.
+sense::BevImage make_observation(const sense::BevImage& bev, double ego_speed);
+
+}  // namespace icoil::il

@@ -1,0 +1,49 @@
+#include "mathkit/ldlt.hpp"
+
+#include <cmath>
+
+namespace icoil::math {
+
+std::optional<Ldlt> Ldlt::factorize(const Matrix& m, double pivot_tol) {
+  if (m.rows() != m.cols()) return std::nullopt;
+  const std::size_t n = m.rows();
+  Ldlt f;
+  f.n_ = n;
+  f.l_ = Matrix::identity(n);
+  f.d_.assign(n, 0.0);
+
+  for (std::size_t j = 0; j < n; ++j) {
+    double dj = m(j, j);
+    for (std::size_t k = 0; k < j; ++k) dj -= f.l_(j, k) * f.l_(j, k) * f.d_[k];
+    if (std::abs(dj) < pivot_tol) return std::nullopt;
+    f.d_[j] = dj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = m(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= f.l_(i, k) * f.l_(j, k) * f.d_[k];
+      f.l_(i, j) = v / dj;
+    }
+  }
+  return f;
+}
+
+std::vector<double> Ldlt::solve(const std::vector<double>& b) const {
+  std::vector<double> x = b;
+  // Forward: L y = b
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t k = 0; k < i; ++k) x[i] -= l_(i, k) * x[k];
+  // Diagonal: D z = y
+  for (std::size_t i = 0; i < n_; ++i) x[i] /= d_[i];
+  // Backward: L^T x = z
+  for (std::size_t ii = n_; ii-- > 0;)
+    for (std::size_t k = ii + 1; k < n_; ++k) x[ii] -= l_(k, ii) * x[k];
+  return x;
+}
+
+std::optional<std::vector<double>> solve_spd(const Matrix& m,
+                                             const std::vector<double>& b) {
+  auto f = Ldlt::factorize(m);
+  if (!f) return std::nullopt;
+  return f->solve(b);
+}
+
+}  // namespace icoil::math

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mathkit/matrix.hpp"
+
+namespace icoil::math {
+
+/// LDL^T factorization of a symmetric quasi-definite matrix.
+/// Used as the linear-system kernel of the ADMM QP solver, where the KKT
+/// matrix (P + sigma*I + rho*A^T A) is symmetric positive definite.
+class Ldlt {
+ public:
+  /// Factorize `m` (must be square, symmetric). Returns std::nullopt when a
+  /// pivot collapses below `pivot_tol` (matrix numerically singular).
+  static std::optional<Ldlt> factorize(const Matrix& m, double pivot_tol = 1e-12);
+
+  /// Solve M x = b for x.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  std::size_t dim() const { return n_; }
+
+ private:
+  Ldlt() = default;
+  std::size_t n_ = 0;
+  Matrix l_;                // unit lower triangular
+  std::vector<double> d_;  // diagonal
+};
+
+/// One-shot positive-definite solve; returns nullopt on singular systems.
+std::optional<std::vector<double>> solve_spd(const Matrix& m,
+                                             const std::vector<double>& b);
+
+}  // namespace icoil::math

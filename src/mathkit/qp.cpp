@@ -1,0 +1,177 @@
+#include "mathkit/qp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mathkit/ldlt.hpp"
+
+namespace icoil::math {
+
+bool QpProblem::valid() const {
+  const std::size_t n = q.size();
+  const std::size_t m = l.size();
+  if (p.rows() != n || p.cols() != n) return false;
+  if (m > 0 && (a.rows() != m || a.cols() != n)) return false;
+  if (u.size() != m) return false;
+  for (std::size_t i = 0; i < m; ++i)
+    if (l[i] > u[i]) return false;
+  return true;
+}
+
+namespace {
+
+std::vector<double> clamp_to(const std::vector<double>& v,
+                             const std::vector<double>& lo,
+                             const std::vector<double>& hi) {
+  std::vector<double> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = std::clamp(v[i], lo[i], hi[i]);
+  return out;
+}
+
+}  // namespace
+
+QpResult QpSolver::solve(const QpProblem& prob, const std::vector<double>* x0,
+                         const std::vector<double>* y0) const {
+  QpResult res;
+  if (!prob.valid()) {
+    res.status = QpStatus::kInvalidProblem;
+    return res;
+  }
+  const std::size_t n = prob.num_vars();
+  const std::size_t m = prob.num_constraints();
+
+  double rho = settings_.rho;
+  const double sigma = settings_.sigma;
+  const double alpha = settings_.alpha;
+
+  // Unconstrained problem: a single regularized solve suffices.
+  if (m == 0) {
+    Matrix k = prob.p;
+    for (std::size_t i = 0; i < n; ++i) k(i, i) += sigma;
+    auto sol = solve_spd(k, scale(prob.q, -1.0));
+    if (!sol) {
+      res.status = QpStatus::kSingularKkt;
+      return res;
+    }
+    res.x = std::move(*sol);
+    res.y = {};
+    res.status = QpStatus::kSolved;
+    res.objective = 0.5 * dot(res.x, prob.p.apply(res.x)) + dot(prob.q, res.x);
+    return res;
+  }
+
+  const Matrix at = prob.a.transpose();
+
+  // Per-row penalty: equality rows (l == u) converge far faster with a
+  // much stiffer rho (the OSQP rule: rho_eq = 1e3 * rho).
+  auto rho_row = [&](double rho_val, std::size_t i) {
+    return prob.l[i] == prob.u[i] ? 1e3 * rho_val : rho_val;
+  };
+  auto build_kkt = [&](double rho_val) {
+    // K = P + sigma I + A^T diag(rho_vec) A
+    Matrix k = prob.p;
+    for (std::size_t i = 0; i < n; ++i) k(i, i) += sigma;
+    for (std::size_t r = 0; r < m; ++r) {
+      const double rr = rho_row(rho_val, r);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double ari = prob.a(r, i);
+        if (ari == 0.0) continue;
+        for (std::size_t j = 0; j < n; ++j) {
+          const double arj = prob.a(r, j);
+          if (arj != 0.0) k(i, j) += rr * ari * arj;
+        }
+      }
+    }
+    return Ldlt::factorize(k);
+  };
+
+  auto kkt = build_kkt(rho);
+  if (!kkt) {
+    res.status = QpStatus::kSingularKkt;
+    return res;
+  }
+
+  std::vector<double> x = x0 && x0->size() == n ? *x0 : std::vector<double>(n, 0.0);
+  std::vector<double> y = y0 && y0->size() == m ? *y0 : std::vector<double>(m, 0.0);
+  std::vector<double> z = clamp_to(prob.a.apply(x), prob.l, prob.u);
+
+  int iter = 0;
+  for (iter = 1; iter <= settings_.max_iterations; ++iter) {
+    // x-update:
+    //   (P + sigma I + A^T R A) x+ = sigma x - q + A^T (R z - y)
+    std::vector<double> rz_y(m);
+    for (std::size_t i = 0; i < m; ++i)
+      rz_y[i] = rho_row(rho, i) * z[i] - y[i];
+    const std::vector<double> azy = at.apply(rz_y);
+    std::vector<double> rhs(n);
+    for (std::size_t i = 0; i < n; ++i) rhs[i] = sigma * x[i] - prob.q[i] + azy[i];
+    std::vector<double> x_next = kkt->solve(rhs);
+
+    // z-update with over-relaxation.
+    const std::vector<double> ax_next = prob.a.apply(x_next);
+    std::vector<double> z_tilde(m);
+    for (std::size_t i = 0; i < m; ++i)
+      z_tilde[i] = alpha * ax_next[i] + (1.0 - alpha) * z[i];
+    std::vector<double> z_next(m);
+    for (std::size_t i = 0; i < m; ++i)
+      z_next[i] = std::clamp(z_tilde[i] + y[i] / rho_row(rho, i), prob.l[i],
+                             prob.u[i]);
+
+    // y-update.
+    for (std::size_t i = 0; i < m; ++i)
+      y[i] += rho_row(rho, i) * (z_tilde[i] - z_next[i]);
+
+    x = std::move(x_next);
+    z = std::move(z_next);
+
+    if (iter % settings_.check_interval != 0 && iter != settings_.max_iterations)
+      continue;
+
+    // Residuals (OSQP section 3.4).
+    const std::vector<double> ax = prob.a.apply(x);
+    const double r_prim = norm_inf(sub(ax, z));
+    const std::vector<double> px = prob.p.apply(x);
+    const std::vector<double> aty = at.apply(y);
+    std::vector<double> r_dual_vec(n);
+    for (std::size_t i = 0; i < n; ++i)
+      r_dual_vec[i] = px[i] + prob.q[i] + aty[i];
+    const double r_dual = norm_inf(r_dual_vec);
+
+    const double eps_prim =
+        settings_.eps_abs +
+        settings_.eps_rel * std::max(norm_inf(ax), norm_inf(z));
+    const double eps_dual =
+        settings_.eps_abs +
+        settings_.eps_rel *
+            std::max({norm_inf(px), norm_inf(aty), norm_inf(prob.q)});
+
+    res.primal_residual = r_prim;
+    res.dual_residual = r_dual;
+    if (r_prim <= eps_prim && r_dual <= eps_dual) {
+      res.status = QpStatus::kSolved;
+      break;
+    }
+
+    // Adaptive rho (geometric update toward residual balance).
+    if (settings_.adaptive_rho && r_dual > 0.0 && r_prim > 0.0) {
+      const double ratio = std::sqrt(r_prim / r_dual);
+      if (ratio > 5.0 || ratio < 0.2) {
+        rho = std::clamp(rho * ratio, 1e-6, 1e6);
+        kkt = build_kkt(rho);
+        if (!kkt) {
+          res.status = QpStatus::kSingularKkt;
+          return res;
+        }
+      }
+    }
+  }
+
+  if (res.status != QpStatus::kSolved) res.status = QpStatus::kMaxIterations;
+  res.x = std::move(x);
+  res.y = std::move(y);
+  res.iterations = std::min(iter, settings_.max_iterations);
+  res.objective = 0.5 * dot(res.x, prob.p.apply(res.x)) + dot(prob.q, res.x);
+  return res;
+}
+
+}  // namespace icoil::math

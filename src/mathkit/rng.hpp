@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace icoil::math {
+
+/// Seeded pseudo-random generator wrapping a fixed engine so every stochastic
+/// component in the library is reproducible from an explicit 64-bit seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x1c011u) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+  /// Normal with given mean / stddev.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+  /// Bernoulli with probability p of true.
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  /// Derive an independent child stream (for per-episode / per-module seeds).
+  Rng fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ull); }
+  std::uint64_t next_seed() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace icoil::math

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace icoil::math {
+
+/// Streaming accumulator for min/max/mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& o);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile via linear interpolation on a copy of the data; p in [0, 100].
+double percentile(std::vector<double> values, double p);
+
+double mean(const std::vector<double>& values);
+
+}  // namespace icoil::math

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace icoil::math {
+
+/// Minimal text-table / CSV writer used by the benchmark harnesses to print
+/// the rows the paper's tables and figure series report.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row);
+  /// Convenience: format doubles with fixed precision.
+  void add_row_numeric(const std::string& label, const std::vector<double>& values,
+                       int precision = 2);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Pretty-print with aligned columns.
+  void print(std::ostream& os) const;
+  /// Comma-separated output (no alignment) for downstream plotting.
+  void print_csv(std::ostream& os) const;
+  /// Write CSV to a file; returns false on I/O failure.
+  bool save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string format_double(double v, int precision = 2);
+
+}  // namespace icoil::math

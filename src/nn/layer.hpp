@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mathkit/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace icoil::nn {
+
+/// A learnable parameter with its gradient accumulator.
+struct Param {
+  Tensor value;
+  Tensor grad;
+
+  explicit Param(std::vector<int> shape)
+      : value(shape), grad(std::move(shape)) {}
+};
+
+/// Base class for network layers. Layers cache whatever they need from
+/// `forward` so the subsequent `backward` can produce input gradients —
+/// the classic define-by-layer backprop contract.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual std::string name() const = 0;
+  /// Compute the layer output for a batch input.
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+  /// Given dL/d(output), accumulate parameter grads and return dL/d(input).
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameters (empty for stateless layers).
+  virtual std::vector<Param*> params() { return {}; }
+  /// Initialize parameters from `rng` (no-op for stateless layers).
+  virtual void init(math::Rng& rng) { (void)rng; }
+};
+
+}  // namespace icoil::nn

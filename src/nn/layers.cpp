@@ -1,0 +1,290 @@
+#include "nn/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace icoil::nn {
+
+// ---------------------------------------------------------------- Conv2D
+
+Conv2D::Conv2D(int in_channels, int out_channels, int kernel, int pad)
+    : in_c_(in_channels), out_c_(out_channels), k_(kernel), pad_(pad),
+      weight_({out_channels, in_channels, kernel, kernel}),
+      bias_({out_channels}) {}
+
+void Conv2D::init(math::Rng& rng) {
+  // He initialization for ReLU networks.
+  const double fan_in = static_cast<double>(in_c_) * k_ * k_;
+  const double stddev = std::sqrt(2.0 / fan_in);
+  for (float& w : weight_.value.vec()) w = static_cast<float>(rng.normal(0.0, stddev));
+  bias_.value.zero();
+}
+
+// The conv kernels are written as shifted-row AXPY loops: for each kernel
+// tap the inner loop is a contiguous multiply-add over a row, which the
+// compiler vectorizes. This is the throughput kernel of the whole IL stack.
+
+Tensor Conv2D::forward(const Tensor& input, bool training) {
+  const int n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const int oh = h + 2 * pad_ - k_ + 1;
+  const int ow = w + 2 * pad_ - k_ + 1;
+  if (training) cached_input_ = input;
+
+  Tensor out({n, out_c_, oh, ow});
+  const std::size_t in_plane = static_cast<std::size_t>(h) * w;
+  const std::size_t out_plane = static_cast<std::size_t>(oh) * ow;
+
+  for (int b = 0; b < n; ++b) {
+    for (int oc = 0; oc < out_c_; ++oc) {
+      float* out_base = out.data() +
+                        (static_cast<std::size_t>(b) * out_c_ + oc) * out_plane;
+      const float bias = bias_.value[static_cast<std::size_t>(oc)];
+      for (std::size_t i = 0; i < out_plane; ++i) out_base[i] = bias;
+
+      for (int ic = 0; ic < in_c_; ++ic) {
+        const float* in_base =
+            input.data() + (static_cast<std::size_t>(b) * in_c_ + ic) * in_plane;
+        for (int ky = 0; ky < k_; ++ky) {
+          for (int kx = 0; kx < k_; ++kx) {
+            const float wv = weight_.value.at4(oc, ic, ky, kx);
+            if (wv == 0.0f) continue;
+            const int dy = ky - pad_, dx = kx - pad_;
+            const int y_lo = std::max(0, -dy), y_hi = std::min(oh, h - dy);
+            const int x_lo = std::max(0, -dx), x_hi = std::min(ow, w - dx);
+            for (int y = y_lo; y < y_hi; ++y) {
+              float* orow = out_base + static_cast<std::size_t>(y) * ow;
+              const float* irow =
+                  in_base + static_cast<std::size_t>(y + dy) * w + dx;
+              for (int x = x_lo; x < x_hi; ++x) orow[x] += wv * irow[x];
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_out) {
+  const Tensor& input = cached_input_;
+  const int n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const int oh = grad_out.dim(2), ow = grad_out.dim(3);
+  const std::size_t in_plane = static_cast<std::size_t>(h) * w;
+  const std::size_t out_plane = static_cast<std::size_t>(oh) * ow;
+
+  Tensor grad_in({n, in_c_, h, w});
+  for (int b = 0; b < n; ++b) {
+    for (int oc = 0; oc < out_c_; ++oc) {
+      const float* g_base =
+          grad_out.data() +
+          (static_cast<std::size_t>(b) * out_c_ + oc) * out_plane;
+      float bias_acc = 0.0f;
+      for (std::size_t i = 0; i < out_plane; ++i) bias_acc += g_base[i];
+      bias_.grad[static_cast<std::size_t>(oc)] += bias_acc;
+
+      for (int ic = 0; ic < in_c_; ++ic) {
+        const float* in_base =
+            input.data() + (static_cast<std::size_t>(b) * in_c_ + ic) * in_plane;
+        float* gi_base = grad_in.data() +
+                         (static_cast<std::size_t>(b) * in_c_ + ic) * in_plane;
+        for (int ky = 0; ky < k_; ++ky) {
+          for (int kx = 0; kx < k_; ++kx) {
+            const int dy = ky - pad_, dx = kx - pad_;
+            const int y_lo = std::max(0, -dy), y_hi = std::min(oh, h - dy);
+            const int x_lo = std::max(0, -dx), x_hi = std::min(ow, w - dx);
+            const float wv = weight_.value.at4(oc, ic, ky, kx);
+            float w_acc = 0.0f;
+            for (int y = y_lo; y < y_hi; ++y) {
+              const float* grow = g_base + static_cast<std::size_t>(y) * ow;
+              const float* irow =
+                  in_base + static_cast<std::size_t>(y + dy) * w + dx;
+              float* girow =
+                  gi_base + static_cast<std::size_t>(y + dy) * w + dx;
+              for (int x = x_lo; x < x_hi; ++x) {
+                w_acc += grow[x] * irow[x];
+                girow[x] += grow[x] * wv;
+              }
+            }
+            weight_.grad.at4(oc, ic, ky, kx) += w_acc;
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+// ------------------------------------------------------------------ ReLU
+
+Tensor ReLU::forward(const Tensor& input, bool training) {
+  Tensor out = input;
+  if (training) {
+    mask_ = Tensor(input.shape());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const bool pos = out[i] > 0.0f;
+      mask_[i] = pos ? 1.0f : 0.0f;
+      if (!pos) out[i] = 0.0f;
+    }
+  } else {
+    for (std::size_t i = 0; i < out.size(); ++i)
+      if (out[i] < 0.0f) out[i] = 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor grad_in = grad_out;
+  for (std::size_t i = 0; i < grad_in.size(); ++i) grad_in[i] *= mask_[i];
+  return grad_in;
+}
+
+// ------------------------------------------------------------- MaxPool2D
+
+Tensor MaxPool2D::forward(const Tensor& input, bool training) {
+  const int n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const int oh = h / 2, ow = w / 2;
+  in_shape_ = input.shape();
+  Tensor out({n, c, oh, ow});
+  if (training) argmax_.assign(out.size(), 0);
+
+  std::size_t oi = 0;
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int y = 0; y < oh; ++y) {
+        for (int x = 0; x < ow; ++x, ++oi) {
+          float best = -1e30f;
+          std::size_t best_idx = 0;
+          for (int dy = 0; dy < 2; ++dy) {
+            for (int dx = 0; dx < 2; ++dx) {
+              const int iy = 2 * y + dy, ix = 2 * x + dx;
+              const float v = input.at4(b, ch, iy, ix);
+              if (v > best) {
+                best = v;
+                best_idx = ((static_cast<std::size_t>(b) * c + ch) * h + iy) * w + ix;
+              }
+            }
+          }
+          out.at4(b, ch, y, x) = best;
+          if (training) argmax_[oi] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_out) {
+  Tensor grad_in(in_shape_);
+  for (std::size_t i = 0; i < grad_out.size(); ++i)
+    grad_in[argmax_[i]] += grad_out[i];
+  return grad_in;
+}
+
+// --------------------------------------------------------------- Flatten
+
+Tensor Flatten::forward(const Tensor& input, bool) {
+  in_shape_ = input.shape();
+  Tensor out = input;
+  const int n = input.dim(0);
+  out.reshape({n, static_cast<int>(input.size()) / n});
+  return out;
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  Tensor grad_in = grad_out;
+  grad_in.reshape(in_shape_);
+  return grad_in;
+}
+
+// ----------------------------------------------------------------- Dense
+
+Dense::Dense(int in_features, int out_features)
+    : in_f_(in_features), out_f_(out_features),
+      weight_({out_features, in_features}), bias_({out_features}) {}
+
+void Dense::init(math::Rng& rng) {
+  // Xavier/Glorot uniform.
+  const double limit = std::sqrt(6.0 / (in_f_ + out_f_));
+  for (float& w : weight_.value.vec())
+    w = static_cast<float>(rng.uniform(-limit, limit));
+  bias_.value.zero();
+}
+
+Tensor Dense::forward(const Tensor& input, bool training) {
+  const int n = input.dim(0);
+  if (training) cached_input_ = input;
+  Tensor out({n, out_f_});
+  for (int b = 0; b < n; ++b) {
+    const float* x = input.data() + static_cast<std::size_t>(b) * in_f_;
+    for (int o = 0; o < out_f_; ++o) {
+      const float* wrow = weight_.value.data() + static_cast<std::size_t>(o) * in_f_;
+      float acc = bias_.value[static_cast<std::size_t>(o)];
+      for (int i = 0; i < in_f_; ++i) acc += wrow[i] * x[i];
+      out.at2(b, o) = acc;
+    }
+  }
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  const int n = grad_out.dim(0);
+  Tensor grad_in({n, in_f_});
+  for (int b = 0; b < n; ++b) {
+    const float* x = cached_input_.data() + static_cast<std::size_t>(b) * in_f_;
+    float* gi = grad_in.data() + static_cast<std::size_t>(b) * in_f_;
+    for (int o = 0; o < out_f_; ++o) {
+      const float g = grad_out.at2(b, o);
+      if (g == 0.0f) continue;
+      bias_.grad[static_cast<std::size_t>(o)] += g;
+      float* wg = weight_.grad.data() + static_cast<std::size_t>(o) * in_f_;
+      const float* wv = weight_.value.data() + static_cast<std::size_t>(o) * in_f_;
+      for (int i = 0; i < in_f_; ++i) {
+        wg[i] += g * x[i];
+        gi[i] += g * wv[i];
+      }
+    }
+  }
+  return grad_in;
+}
+
+// --------------------------------------------------------------- Softmax
+
+std::vector<float> softmax_row(const float* logits, int m) {
+  float mx = logits[0];
+  for (int j = 1; j < m; ++j) mx = std::max(mx, logits[j]);
+  std::vector<float> p(static_cast<std::size_t>(m));
+  float sum = 0.0f;
+  for (int j = 0; j < m; ++j) {
+    p[static_cast<std::size_t>(j)] = std::exp(logits[j] - mx);
+    sum += p[static_cast<std::size_t>(j)];
+  }
+  for (float& v : p) v /= sum;
+  return p;
+}
+
+Tensor Softmax::forward(const Tensor& input, bool training) {
+  const int n = input.dim(0), m = input.dim(1);
+  Tensor out({n, m});
+  for (int b = 0; b < n; ++b) {
+    const auto p = softmax_row(input.data() + static_cast<std::size_t>(b) * m, m);
+    std::copy(p.begin(), p.end(), out.data() + static_cast<std::size_t>(b) * m);
+  }
+  if (training) cached_output_ = out;
+  return out;
+}
+
+Tensor Softmax::backward(const Tensor& grad_out) {
+  const int n = grad_out.dim(0), m = grad_out.dim(1);
+  Tensor grad_in({n, m});
+  for (int b = 0; b < n; ++b) {
+    const float* p = cached_output_.data() + static_cast<std::size_t>(b) * m;
+    const float* g = grad_out.data() + static_cast<std::size_t>(b) * m;
+    float gp = 0.0f;
+    for (int j = 0; j < m; ++j) gp += g[j] * p[j];
+    float* gi = grad_in.data() + static_cast<std::size_t>(b) * m;
+    for (int j = 0; j < m; ++j) gi[j] = p[j] * (g[j] - gp);
+  }
+  return grad_in;
+}
+
+}  // namespace icoil::nn

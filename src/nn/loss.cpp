@@ -1,0 +1,51 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "nn/layers.hpp"
+
+namespace icoil::nn {
+
+CrossEntropyLoss::Result CrossEntropyLoss::compute(const Tensor& logits,
+                                                   const std::vector<int>& labels) {
+  const int n = logits.dim(0), m = logits.dim(1);
+  assert(labels.size() == static_cast<std::size_t>(n));
+  Result res;
+  res.grad = Tensor({n, m});
+  double total = 0.0;
+  for (int b = 0; b < n; ++b) {
+    const float* row = logits.data() + static_cast<std::size_t>(b) * m;
+    const auto p = softmax_row(row, m);
+    const int y = labels[static_cast<std::size_t>(b)];
+    total += -std::log(std::max(p[static_cast<std::size_t>(y)], 1e-12f));
+    float* g = res.grad.data() + static_cast<std::size_t>(b) * m;
+    for (int j = 0; j < m; ++j)
+      g[j] = (p[static_cast<std::size_t>(j)] - (j == y ? 1.0f : 0.0f)) /
+             static_cast<float>(n);
+  }
+  res.loss = static_cast<float>(total / n);
+  return res;
+}
+
+double CrossEntropyLoss::accuracy(const Tensor& logits,
+                                  const std::vector<int>& labels) {
+  const int n = logits.dim(0), m = logits.dim(1);
+  int correct = 0;
+  for (int b = 0; b < n; ++b) {
+    const float* row = logits.data() + static_cast<std::size_t>(b) * m;
+    const int pred = static_cast<int>(std::max_element(row, row + m) - row);
+    if (pred == labels[static_cast<std::size_t>(b)]) ++correct;
+  }
+  return n > 0 ? static_cast<double>(correct) / n : 0.0;
+}
+
+double entropy(const std::vector<float>& probs) {
+  double h = 0.0;
+  for (float p : probs)
+    if (p > 1e-12f) h -= static_cast<double>(p) * std::log(static_cast<double>(p));
+  return h;
+}
+
+}  // namespace icoil::nn

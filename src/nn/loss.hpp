@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace icoil::nn {
+
+/// Cross-entropy over logits (softmax applied internally, numerically
+/// stable log-sum-exp) — the training objective of eq. (3) in the paper.
+struct CrossEntropyLoss {
+  /// Mean loss over the batch plus dL/d(logits).
+  struct Result {
+    float loss = 0.0f;
+    Tensor grad;  ///< same shape as logits
+  };
+
+  /// `logits` is (N, M); `labels` holds N class indices in [0, M).
+  static Result compute(const Tensor& logits, const std::vector<int>& labels);
+
+  /// Classification accuracy of argmax(logits) vs labels.
+  static double accuracy(const Tensor& logits, const std::vector<int>& labels);
+};
+
+/// Shannon entropy of a probability row (natural log) — the instant scenario
+/// uncertainty omega_i of eq. (7).
+double entropy(const std::vector<float>& probs);
+
+}  // namespace icoil::nn

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace icoil::nn {
+
+/// Optimizer interface: consumes accumulated gradients and updates values.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+  void zero_grad() {
+    for (Param* p : params_) p->grad.zero();
+  }
+
+ protected:
+  std::vector<Param*> params_;
+};
+
+/// Stochastic gradient descent with classical momentum.
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, double lr, double momentum = 0.9);
+  void step() override;
+
+ private:
+  double lr_, momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction — the default IL trainer choice.
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, double lr = 1e-3, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+  void step() override;
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace icoil::nn

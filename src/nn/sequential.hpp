@@ -1,0 +1,69 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace icoil::nn {
+
+/// An ordered stack of layers — the network container used by the IL policy.
+class Sequential {
+ public:
+  Sequential() = default;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  template <typename L, typename... Args>
+  L& add(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+
+  /// Initialize every layer's parameters from a seeded RNG.
+  void init(math::Rng& rng) {
+    for (auto& l : layers_) l->init(rng);
+  }
+
+  Tensor forward(const Tensor& input, bool training = false) {
+    Tensor x = input;
+    for (auto& l : layers_) x = l->forward(x, training);
+    return x;
+  }
+
+  /// Backpropagate dL/d(output); parameter grads accumulate into params().
+  Tensor backward(const Tensor& grad_output) {
+    Tensor g = grad_output;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+      g = (*it)->backward(g);
+    return g;
+  }
+
+  std::vector<Param*> params() {
+    std::vector<Param*> out;
+    for (auto& l : layers_)
+      for (Param* p : l->params()) out.push_back(p);
+    return out;
+  }
+
+  void zero_grad() {
+    for (Param* p : params()) p->grad.zero();
+  }
+
+  /// Total learnable scalar count.
+  std::size_t num_parameters() {
+    std::size_t n = 0;
+    for (Param* p : params()) n += p->value.size();
+    return n;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace icoil::nn

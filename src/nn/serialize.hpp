@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "nn/sequential.hpp"
+
+namespace icoil::nn {
+
+/// Save every parameter tensor of `net` to a flat binary file
+/// (magic + per-tensor shape + float32 payload). Returns false on I/O error.
+bool save_params(Sequential& net, const std::string& path);
+
+/// Load parameters saved by `save_params`. The network must already be built
+/// with identical architecture; returns false on mismatch or I/O error.
+bool load_params(Sequential& net, const std::string& path);
+
+}  // namespace icoil::nn

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace icoil::nn {
+
+/// Minimal dense float tensor (row-major, up to 4-D in practice: NCHW for
+/// images, NF for feature vectors). The whole IL stack — layers, losses,
+/// optimizers — operates on these.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape, float fill = 0.0f)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(count(shape_)), fill) {}
+
+  static Tensor from_data(std::vector<int> shape, std::vector<float> data) {
+    Tensor t;
+    assert(static_cast<std::size_t>(count(shape)) == data.size());
+    t.shape_ = std::move(shape);
+    t.data_ = std::move(data);
+    return t;
+  }
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(int i) const { return shape_[static_cast<std::size_t>(i)]; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// NCHW accessor.
+  float& at4(int n, int c, int h, int w) {
+    return data_[index4(n, c, h, w)];
+  }
+  float at4(int n, int c, int h, int w) const {
+    return data_[index4(n, c, h, w)];
+  }
+  /// NF accessor.
+  float& at2(int n, int f) {
+    return data_[static_cast<std::size_t>(n) * shape_[1] + f];
+  }
+  float at2(int n, int f) const {
+    return data_[static_cast<std::size_t>(n) * shape_[1] + f];
+  }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void zero() { fill(0.0f); }
+
+  /// Change the logical shape; element count must match.
+  void reshape(std::vector<int> shape) {
+    assert(static_cast<std::size_t>(count(shape)) == data_.size());
+    shape_ = std::move(shape);
+  }
+
+  static long count(const std::vector<int>& shape) {
+    long n = 1;
+    for (int d : shape) n *= d;
+    return shape.empty() ? 0 : n;
+  }
+
+ private:
+  std::size_t index4(int n, int c, int h, int w) const {
+    assert(shape_.size() == 4);
+    return ((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) *
+               shape_[3] + w;
+  }
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace icoil::nn

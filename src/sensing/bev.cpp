@@ -1,0 +1,57 @@
+#include "sensing/bev.hpp"
+
+#include <algorithm>
+
+namespace icoil::sense {
+
+float BevImage::channel_mean(int c) const {
+  const std::size_t plane = static_cast<std::size_t>(size_) * size_;
+  const float* p = data_.data() + static_cast<std::size_t>(c) * plane;
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < plane; ++i) acc += p[i];
+  return acc / static_cast<float>(plane);
+}
+
+geom::Vec2 BevRasterizer::pixel_to_world(const geom::Pose2& ego_pose, int row,
+                                         int col) const {
+  const double mpp = spec_.metres_per_pixel();
+  const double half = spec_.range * 0.5;
+  // Local frame: x forward (+row up in the image), y left (+col left->right
+  // maps to -y ... +y reversed so the image reads naturally).
+  const double lx = half - (row + 0.5) * mpp;
+  const double ly = half - (col + 0.5) * mpp;
+  return ego_pose.to_world({lx, ly});
+}
+
+BevImage BevRasterizer::render(const world::World& world,
+                               const geom::Pose2& ego_pose) const {
+  BevImage img(kBevChannels, spec_.size);
+  const auto boxes = world.obstacle_boxes();
+  const geom::Obb& goal = world.map().goal_bay();
+  const geom::Aabb& bounds = world.map().bounds;
+
+  // Cull obstacles entirely outside the raster window.
+  const double reach = spec_.range * 0.75;
+  std::vector<const geom::Obb*> near;
+  for (const geom::Obb& b : boxes)
+    if (geom::distance(b.center, ego_pose.position) <
+        reach + std::max(b.half_length, b.half_width))
+      near.push_back(&b);
+
+  for (int r = 0; r < spec_.size; ++r) {
+    for (int c = 0; c < spec_.size; ++c) {
+      const geom::Vec2 w = pixel_to_world(ego_pose, r, c);
+      for (const geom::Obb* b : near) {
+        if (b->contains(w)) {
+          img.at(kBevObstacles, r, c) = 1.0f;
+          break;
+        }
+      }
+      if (goal.contains(w)) img.at(kBevGoal, r, c) = 1.0f;
+      if (!bounds.contains(w)) img.at(kBevBounds, r, c) = 1.0f;
+    }
+  }
+  return img;
+}
+
+}  // namespace icoil::sense

@@ -1,0 +1,41 @@
+#include "sensing/detector.hpp"
+
+#include <algorithm>
+
+#include "geom/angles.hpp"
+
+namespace icoil::sense {
+
+std::vector<Detection> Detector::detect(const world::World& world,
+                                        const geom::Vec2& ego_position,
+                                        math::Rng& rng, double max_range) const {
+  std::vector<Detection> out;
+  for (const world::ObstacleState& o : world.obstacle_states()) {
+    if (geom::distance(o.box.center, ego_position) > max_range) continue;
+    if (noise_.box_dropout > 0.0 && rng.bernoulli(noise_.box_dropout)) continue;
+
+    Detection d;
+    d.id = o.id;
+    d.box = o.box;
+    d.velocity = o.velocity;
+    d.dynamic = o.dynamic;
+    if (noise_.box_position_sigma > 0.0) {
+      d.box.center.x += rng.normal(0.0, noise_.box_position_sigma);
+      d.box.center.y += rng.normal(0.0, noise_.box_position_sigma);
+    }
+    if (noise_.box_extent_sigma > 0.0) {
+      d.box.half_length = std::max(0.05, d.box.half_length +
+                                             rng.normal(0.0, noise_.box_extent_sigma));
+      d.box.half_width = std::max(0.05, d.box.half_width +
+                                            rng.normal(0.0, noise_.box_extent_sigma));
+    }
+    if (noise_.box_heading_sigma > 0.0)
+      d.box.heading = geom::wrap_angle(d.box.heading +
+                                       rng.normal(0.0, noise_.box_heading_sigma));
+    d.confidence = noise_.any() ? 0.9 : 1.0;
+    out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace icoil::sense

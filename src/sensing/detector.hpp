@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/obb.hpp"
+#include "mathkit/rng.hpp"
+#include "world/world.hpp"
+
+namespace icoil::sense {
+
+/// One detected obstacle: `z_i = h(y_i)` element of the paper's pipeline.
+struct Detection {
+  int id = -1;               ///< track id (stable across frames)
+  geom::Obb box;             ///< detected oriented bounding box
+  geom::Vec2 velocity;       ///< estimated centre velocity
+  bool dynamic = false;      ///< classified as moving
+  double confidence = 1.0;
+};
+
+/// The object detector `h`: produces oriented bounding boxes of obstacles.
+/// Implemented as a ground-truth observer with configurable corruption
+/// (centre/extent/heading jitter, missed detections) — the same interface
+/// and failure modes as the paper's off-the-shelf detector node, whose noise
+/// the hard level amplifies.
+class Detector {
+ public:
+  explicit Detector(world::NoiseConfig noise = {}) : noise_(noise) {}
+
+  const world::NoiseConfig& noise() const { return noise_; }
+
+  /// Detect obstacles within `max_range` metres of the ego position.
+  std::vector<Detection> detect(const world::World& world,
+                                const geom::Vec2& ego_position, math::Rng& rng,
+                                double max_range = 30.0) const;
+
+ private:
+  world::NoiseConfig noise_;
+};
+
+}  // namespace icoil::sense

@@ -1,0 +1,20 @@
+#include "sensing/noise.hpp"
+
+#include <algorithm>
+
+namespace icoil::sense {
+
+void ImageNoise::apply(BevImage& img, math::Rng& rng) const {
+  if (!enabled()) return;
+  for (float& v : img.data()) {
+    if (config_.image_salt_pepper > 0.0 && rng.bernoulli(config_.image_salt_pepper)) {
+      v = v > 0.5f ? 0.0f : 1.0f;
+      continue;
+    }
+    if (config_.image_gaussian_sigma > 0.0)
+      v = std::clamp(v + static_cast<float>(rng.normal(0.0, config_.image_gaussian_sigma)),
+                     0.0f, 1.0f);
+  }
+}
+
+}  // namespace icoil::sense

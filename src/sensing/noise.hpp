@@ -1,0 +1,27 @@
+#pragma once
+
+#include "mathkit/rng.hpp"
+#include "sensing/bev.hpp"
+#include "world/scenario.hpp"
+
+namespace icoil::sense {
+
+/// Applies the hard-level sensor corruptions of section V-B to a BEV image:
+/// additive Gaussian pixel noise plus salt-and-pepper flips, clamped to [0,1].
+class ImageNoise {
+ public:
+  explicit ImageNoise(world::NoiseConfig config) : config_(config) {}
+
+  const world::NoiseConfig& config() const { return config_; }
+  bool enabled() const {
+    return config_.image_gaussian_sigma > 0.0 || config_.image_salt_pepper > 0.0;
+  }
+
+  /// Corrupt `img` in place using `rng`.
+  void apply(BevImage& img, math::Rng& rng) const;
+
+ private:
+  world::NoiseConfig config_;
+};
+
+}  // namespace icoil::sense

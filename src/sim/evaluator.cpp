@@ -1,0 +1,63 @@
+#include "sim/evaluator.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace icoil::sim {
+
+std::vector<EpisodeResult> Evaluator::evaluate_detailed(
+    const core::ControllerFactory& factory,
+    const world::ScenarioOptions& options) const {
+  const int n = config_.episodes;
+  std::vector<EpisodeResult> results(static_cast<std::size_t>(n));
+
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int threads = std::max(
+      1, std::min(config_.num_threads > 0 ? config_.num_threads : hw,
+                  std::min(16, n)));
+
+  std::atomic<int> next{0};
+  auto worker = [&] {
+    auto controller = factory();
+    Simulator sim(config_.sim);
+    for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      const std::uint64_t seed = config_.base_seed + static_cast<std::uint64_t>(i);
+      const world::Scenario scenario = world::make_scenario(options, seed);
+      results[static_cast<std::size_t>(i)] = sim.run(scenario, *controller, seed);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  return results;
+}
+
+Aggregate Evaluator::evaluate(const core::ControllerFactory& factory,
+                              const world::ScenarioOptions& options,
+                              const std::string& method_label) const {
+  Aggregate agg;
+  agg.method = method_label;
+  agg.level = world::to_string(options.difficulty);
+  for (const EpisodeResult& r : evaluate_detailed(factory, options)) {
+    ++agg.episodes;
+    switch (r.outcome) {
+      case Outcome::kSuccess:
+        ++agg.successes;
+        agg.park_time.add(r.park_time);
+        break;
+      case Outcome::kCollision:
+        ++agg.collisions;
+        break;
+      case Outcome::kTimeout:
+        ++agg.timeouts;
+        break;
+    }
+    agg.il_fraction.add(r.il_fraction);
+    if (r.min_clearance < 1e8) agg.min_clearance.add(r.min_clearance);
+  }
+  return agg;
+}
+
+}  // namespace icoil::sim

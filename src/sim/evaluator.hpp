@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mathkit/stats.hpp"
+#include "sim/simulator.hpp"
+#include "world/scenario.hpp"
+
+namespace icoil::sim {
+
+/// Aggregated metrics over a batch of episodes — one Table II cell group.
+struct Aggregate {
+  std::string method;
+  std::string level;
+  int episodes = 0;
+  int successes = 0;
+  int collisions = 0;
+  int timeouts = 0;
+  math::RunningStats park_time;        ///< over successful episodes only
+  math::RunningStats il_fraction;
+  math::RunningStats min_clearance;
+
+  double success_ratio() const {
+    return episodes > 0 ? static_cast<double>(successes) / episodes : 0.0;
+  }
+};
+
+/// Batch evaluation settings.
+struct EvalConfig {
+  int episodes = 30;
+  std::uint64_t base_seed = 1000;
+  int num_threads = 0;  ///< 0 = hardware concurrency (capped at 16)
+  SimConfig sim;
+};
+
+/// Runs many seeded episodes of a scenario family through a controller
+/// factory, fanned out across worker threads (one controller per worker —
+/// controllers are stateful). Deterministic per (seed, options).
+class Evaluator {
+ public:
+  explicit Evaluator(EvalConfig config = {}) : config_(config) {}
+
+  const EvalConfig& config() const { return config_; }
+
+  Aggregate evaluate(const core::ControllerFactory& factory,
+                     const world::ScenarioOptions& options,
+                     const std::string& method_label) const;
+
+  /// Per-episode results in seed order (for distribution plots).
+  std::vector<EpisodeResult> evaluate_detailed(
+      const core::ControllerFactory& factory,
+      const world::ScenarioOptions& options) const;
+
+ private:
+  EvalConfig config_;
+};
+
+}  // namespace icoil::sim

@@ -1,0 +1,125 @@
+#include "sim/expert.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "geom/angles.hpp"
+#include "il/action.hpp"
+#include "il/observation.hpp"
+#include "sensing/bev.hpp"
+#include "sensing/detector.hpp"
+#include "world/world.hpp"
+
+namespace icoil::sim {
+
+ExpertRecorder::ExpertRecorder(ExpertConfig config,
+                               il::IlPolicyConfig policy_config)
+    : config_(config), policy_config_(policy_config) {}
+
+il::Dataset ExpertRecorder::record(ExpertStats* stats_out) const {
+  // Episodes are independent: record them in parallel, then merge in
+  // episode order so the dataset is deterministic regardless of thread
+  // scheduling.
+  std::vector<il::Dataset> episode_data(static_cast<std::size_t>(config_.episodes));
+  std::vector<ExpertStats> episode_stats(static_cast<std::size_t>(config_.episodes));
+
+  std::atomic<int> next{0};
+  auto worker = [&] {
+    for (int ep = next.fetch_add(1); ep < config_.episodes;
+         ep = next.fetch_add(1)) {
+      record_episode(ep, episode_data[static_cast<std::size_t>(ep)],
+                     episode_stats[static_cast<std::size_t>(ep)]);
+    }
+  };
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int threads = std::max(1, std::min({hw, config_.episodes, 16}));
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+
+  il::Dataset dataset;
+  ExpertStats stats;
+  for (int ep = 0; ep < config_.episodes; ++ep) {
+    const il::Dataset& d = episode_data[static_cast<std::size_t>(ep)];
+    for (std::size_t i = 0; i < d.size(); ++i) dataset.add(d[i]);
+    const ExpertStats& es = episode_stats[static_cast<std::size_t>(ep)];
+    stats.episodes_run += es.episodes_run;
+    stats.episodes_succeeded += es.episodes_succeeded;
+    stats.samples += es.samples;
+    stats.forward_samples += es.forward_samples;
+    stats.reverse_samples += es.reverse_samples;
+  }
+  if (stats_out) *stats_out = stats;
+  return dataset;
+}
+
+void ExpertRecorder::record_episode(int ep, il::Dataset& dataset,
+                                    ExpertStats& stats) const {
+  const sense::BevSpec bev_spec{policy_config_.bev_size, policy_config_.bev_range};
+  const sense::BevRasterizer rasterizer(bev_spec);
+  const vehicle::VehicleParams params;
+  const vehicle::BicycleModel model(params);
+
+  const world::StartClass classes[3] = {world::StartClass::kRandom,
+                                        world::StartClass::kClose,
+                                        world::StartClass::kRemote};
+  {
+    world::ScenarioOptions options;
+    options.difficulty = world::Difficulty::kEasy;
+    options.start_class =
+        config_.mix_start_classes ? classes[ep % 3] : world::StartClass::kRandom;
+    const std::uint64_t seed = config_.base_seed + static_cast<std::uint64_t>(ep);
+    const world::Scenario scenario = world::make_scenario(options, seed);
+
+    world::World world(scenario);
+    math::Rng rng(seed ^ 0xE4BE27ull);
+    sense::Detector detector(scenario.noise);
+
+    co::CoPlanner planner(config_.co, params);
+    std::vector<geom::Obb> static_boxes;
+    for (const world::Obstacle& o : scenario.obstacles)
+      if (!o.dynamic()) static_boxes.push_back(o.shape);
+    planner.plan_reference(scenario.start_pose, scenario.map.goal_pose,
+                           static_boxes, scenario.map.bounds);
+
+    vehicle::State state;
+    state.pose = scenario.start_pose;
+
+    const std::size_t max_frames =
+        static_cast<std::size_t>(scenario.time_limit / config_.dt);
+    bool success = false;
+    for (std::size_t frame = 0; frame < max_frames; ++frame) {
+      const auto detections = detector.detect(world, state.pose.position, rng);
+      const vehicle::Command raw = planner.act(state, detections);
+      const int label = il::ActionDiscretizer::to_class(raw);
+      const vehicle::Command cmd = il::ActionDiscretizer::to_command(label);
+
+      if (frame % static_cast<std::size_t>(config_.frame_stride) == 0) {
+        il::Sample sample;
+        sample.observation =
+            il::make_observation(rasterizer.render(world, state.pose), state.speed);
+        sample.label = label;
+        dataset.add(std::move(sample));
+        ++stats.samples;
+        if (cmd.reverse)
+          ++stats.reverse_samples;
+        else
+          ++stats.forward_samples;
+      }
+
+      state = model.step(state, cmd, config_.dt);
+      world.step(config_.dt);
+
+      if (world.in_collision(model.footprint(state))) break;
+      if (world.at_goal(state.pose) && std::abs(state.speed) < 0.15) {
+        success = true;
+        break;
+      }
+    }
+    ++stats.episodes_run;
+    if (success) ++stats.episodes_succeeded;
+  }
+}
+
+}  // namespace icoil::sim

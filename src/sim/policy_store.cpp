@@ -1,0 +1,74 @@
+#include "sim/policy_store.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace icoil::sim {
+
+PolicyStoreOptions default_policy_options() {
+  PolicyStoreOptions options;
+  options.expert.episodes = 30;
+  options.train.epochs = 40;
+  options.train.batch_size = 64;
+  if (const char* env = std::getenv("ICOIL_EPOCHS"))
+    options.train.epochs = std::max(1, std::atoi(env));
+  if (const char* env = std::getenv("ICOIL_EXPERT_EPISODES"))
+    options.expert.episodes = std::max(1, std::atoi(env));
+  return options;
+}
+
+std::unique_ptr<il::IlPolicy> get_or_train_policy(
+    const PolicyStoreOptions& options) {
+  auto policy = std::make_unique<il::IlPolicy>(options.policy);
+  if (policy->load(options.cache_path)) {
+    if (options.verbose)
+      std::fprintf(stderr, "[policy_store] loaded cached policy from %s\n",
+                   options.cache_path.c_str());
+    return policy;
+  }
+
+  if (options.verbose)
+    std::fprintf(stderr,
+                 "[policy_store] no cache at %s; recording expert "
+                 "demonstrations (%d episodes)...\n",
+                 options.cache_path.c_str(), options.expert.episodes);
+
+  il::Dataset dataset;
+  if (!options.dataset_cache_path.empty() &&
+      dataset.load(options.dataset_cache_path)) {
+    if (options.verbose)
+      std::fprintf(stderr, "[policy_store] loaded %zu cached samples from %s\n",
+                   dataset.size(), options.dataset_cache_path.c_str());
+  } else {
+    ExpertRecorder recorder(options.expert, options.policy);
+    ExpertStats stats;
+    dataset = recorder.record(&stats);
+    if (options.verbose)
+      std::fprintf(stderr,
+                   "[policy_store] %zu samples (%zu forward, %zu reverse), "
+                   "%d/%d expert episodes parked\n",
+                   stats.samples, stats.forward_samples, stats.reverse_samples,
+                   stats.episodes_succeeded, stats.episodes_run);
+    if (!options.dataset_cache_path.empty())
+      dataset.save(options.dataset_cache_path);
+  }
+  if (options.verbose)
+    std::fprintf(stderr, "[policy_store] training %d epochs on %zu samples...\n",
+                 options.train.epochs, dataset.size());
+
+  il::Trainer trainer(options.train);
+  trainer.train(*policy, dataset, [&](const il::EpochStats& e) {
+    if (options.verbose)
+      std::fprintf(stderr,
+                   "[policy_store] epoch %d: loss %.4f, train acc %.3f, "
+                   "val acc %.3f\n",
+                   e.epoch, e.train_loss, e.train_accuracy, e.val_accuracy);
+  });
+
+  if (!policy->save(options.cache_path) && options.verbose)
+    std::fprintf(stderr, "[policy_store] warning: could not save cache to %s\n",
+                 options.cache_path.c_str());
+  return policy;
+}
+
+}  // namespace icoil::sim

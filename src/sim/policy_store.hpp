@@ -1,0 +1,35 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "il/policy.hpp"
+#include "il/trainer.hpp"
+#include "sim/expert.hpp"
+
+namespace icoil::sim {
+
+/// Options controlling on-demand policy training.
+struct PolicyStoreOptions {
+  std::string cache_path = "il_policy.bin";
+  std::string dataset_cache_path = "il_dataset.bin";
+  ExpertConfig expert;
+  il::TrainConfig train;
+  il::IlPolicyConfig policy;
+  bool verbose = true;
+};
+
+/// Loads the trained IL policy from `cache_path` if present, otherwise
+/// records expert demonstrations, trains the network and saves it. Benches
+/// and examples share one trained policy this way, so the (one-time)
+/// training cost is amortized across the whole harness.
+std::unique_ptr<il::IlPolicy> get_or_train_policy(
+    const PolicyStoreOptions& options = {});
+
+/// Default options used by the benchmark harness: ~5000 samples
+/// (paper: 5171) and enough epochs to converge. Respects the
+/// ICOIL_EPOCHS / ICOIL_EXPERT_EPISODES environment variables for quick
+/// runs.
+PolicyStoreOptions default_policy_options();
+
+}  // namespace icoil::sim

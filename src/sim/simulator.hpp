@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "world/world.hpp"
+
+namespace icoil::sim {
+
+/// How an episode ended.
+enum class Outcome { kSuccess, kCollision, kTimeout };
+
+const char* to_string(Outcome o);
+
+/// One recorded frame of an episode (the time series behind Figs 5-7).
+struct FrameRecord {
+  double t = 0.0;
+  vehicle::State state;
+  core::FrameInfo info;
+};
+
+/// Result of one simulated parking episode.
+struct EpisodeResult {
+  Outcome outcome = Outcome::kTimeout;
+  double park_time = 0.0;            ///< seconds from start to parked (or end)
+  std::size_t frames = 0;
+  double min_clearance = 1e9;        ///< closest approach to any obstacle [m]
+  int mode_switches = 0;             ///< iCOIL CO<->IL transitions
+  double il_fraction = 0.0;          ///< fraction of frames driven by IL
+  std::vector<FrameRecord> trace;    ///< full trace (empty unless recording)
+
+  bool success() const { return outcome == Outcome::kSuccess; }
+};
+
+/// Simulation loop settings. The paper's "time stamps" correspond to
+/// control frames (dt = 0.05 s -> a ~25 s episode is ~500 stamps).
+struct SimConfig {
+  double dt = 0.05;
+  bool record_trace = false;
+  double goal_pos_tol = 0.6;
+  double goal_heading_tol = 0.35;
+  double goal_speed_tol = 0.15;
+};
+
+/// Runs one controller through one scenario episode: sense -> act ->
+/// integrate -> check collision/goal/timeout.
+class Simulator {
+ public:
+  explicit Simulator(SimConfig config = {}) : config_(config) {}
+
+  const SimConfig& config() const { return config_; }
+
+  EpisodeResult run(const world::Scenario& scenario, core::Controller& controller,
+                    std::uint64_t seed) const;
+
+ private:
+  SimConfig config_;
+};
+
+}  // namespace icoil::sim

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <algorithm>
+
+namespace icoil::vehicle {
+
+/// Driving action a_i of the paper: throttle, brake, steer, reverse.
+/// throttle/brake in [0,1], steer in [-1,1] (fraction of max wheel angle,
+/// positive = left), reverse flips the direction of throttle.
+struct Command {
+  double throttle = 0.0;
+  double brake = 0.0;
+  double steer = 0.0;
+  bool reverse = false;
+
+  /// Clamp all channels into their legal ranges.
+  Command clamped() const {
+    return {std::clamp(throttle, 0.0, 1.0), std::clamp(brake, 0.0, 1.0),
+            std::clamp(steer, -1.0, 1.0), reverse};
+  }
+
+  static Command coast() { return {}; }
+  static Command full_stop() { return {0.0, 1.0, 0.0, false}; }
+};
+
+}  // namespace icoil::vehicle

@@ -1,0 +1,95 @@
+#include "vehicle/kinematics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/angles.hpp"
+
+namespace icoil::vehicle {
+
+double VehicleParams::min_turn_radius() const {
+  return wheelbase / std::tan(max_steer);
+}
+
+State BicycleModel::integrate(const State& s, double accel, double wheel_angle,
+                              double dt, bool limit_speed_by_gear,
+                              bool reverse_gear) const {
+  constexpr double kMaxSubDt = 0.01;
+  const int substeps = std::max(1, static_cast<int>(std::ceil(dt / kMaxSubDt)));
+  const double h = dt / substeps;
+
+  State out = s;
+  for (int i = 0; i < substeps; ++i) {
+    double v = out.speed;
+    // Speed-proportional drag always opposes motion.
+    const double a_total = accel - params_.rolling_drag * v;
+    v += a_total * h;
+    if (limit_speed_by_gear) {
+      // A gearbox cannot push the vehicle through zero: moving forward in
+      // reverse gear (or vice versa) only brakes toward zero.
+      if (reverse_gear)
+        v = std::clamp(v, -params_.max_speed_rev, std::max(out.speed, 0.0));
+      else
+        v = std::clamp(v, std::min(out.speed, 0.0), params_.max_speed_fwd);
+    } else {
+      v = std::clamp(v, -params_.max_speed_rev, params_.max_speed_fwd);
+    }
+
+    const double theta = out.pose.heading;
+    const double vm = (out.speed + v) * 0.5;  // midpoint speed
+    out.pose.position.x += vm * std::cos(theta) * h;
+    out.pose.position.y += vm * std::sin(theta) * h;
+    out.pose.heading = geom::wrap_angle(
+        theta + vm / params_.wheelbase * std::tan(wheel_angle) * h);
+    out.speed = v;
+  }
+  return out;
+}
+
+State BicycleModel::step(const State& s, const Command& raw, double dt) const {
+  const Command cmd = raw.clamped();
+  const double wheel = cmd.steer * params_.max_steer;
+  const double drive = cmd.throttle * params_.max_accel * (cmd.reverse ? -1.0 : 1.0);
+  // Brake opposes current motion; at near-zero speed it simply holds.
+  double brake_acc = 0.0;
+  if (std::abs(s.speed) > 1e-3)
+    brake_acc = -std::copysign(cmd.brake * params_.max_brake, s.speed);
+  State next = integrate(s, drive + brake_acc, wheel, dt,
+                         /*limit_speed_by_gear=*/true, cmd.reverse);
+  // Brake cannot reverse the direction of motion.
+  if (cmd.throttle <= 1e-9 && s.speed * next.speed < 0.0) next.speed = 0.0;
+  return next;
+}
+
+State BicycleModel::step_planner(const State& s, const PlannerControl& u,
+                                 double dt) const {
+  const double wheel = std::clamp(u.steer, -params_.max_steer, params_.max_steer);
+  const double accel = std::clamp(u.accel, -params_.max_brake, params_.max_accel);
+  return integrate(s, accel, wheel, dt, /*limit_speed_by_gear=*/false, false);
+}
+
+Command BicycleModel::to_command(const State& s, const PlannerControl& u) const {
+  Command cmd;
+  cmd.steer = std::clamp(u.steer / params_.max_steer, -1.0, 1.0);
+  // Decide gear by the direction the planner wants to move: the sign of the
+  // post-acceleration speed.
+  const double target_v = s.speed + u.accel * 0.1;
+  cmd.reverse = target_v < -1e-3;
+  const bool decelerating = u.accel * (s.speed >= 0 ? 1.0 : -1.0) < 0.0 &&
+                            std::abs(s.speed) > 0.05;
+  if (decelerating) {
+    cmd.brake = std::clamp(std::abs(u.accel) / params_.max_brake, 0.0, 1.0);
+  } else {
+    cmd.throttle = std::clamp(std::abs(u.accel) / params_.max_accel, 0.0, 1.0);
+  }
+  return cmd;
+}
+
+geom::Obb BicycleModel::footprint(const State& s) const { return footprint(s.pose); }
+
+geom::Obb BicycleModel::footprint(const geom::Pose2& pose) const {
+  return geom::Obb::from_pose(pose, params_.length, params_.width,
+                              params_.center_offset);
+}
+
+}  // namespace icoil::vehicle

@@ -1,0 +1,57 @@
+#pragma once
+
+#include "geom/obb.hpp"
+#include "geom/pose2.hpp"
+#include "vehicle/command.hpp"
+#include "vehicle/params.hpp"
+
+namespace icoil::vehicle {
+
+/// Ackermann (kinematic bicycle) state, rear-axle reference point.
+struct State {
+  geom::Pose2 pose;
+  double speed = 0.0;  ///< signed longitudinal speed [m/s], negative = reverse
+
+  double x() const { return pose.x(); }
+  double y() const { return pose.y(); }
+  double heading() const { return pose.heading; }
+};
+
+/// Continuous control used by the CO planner's prediction model:
+/// longitudinal acceleration and wheel angle.
+struct PlannerControl {
+  double accel = 0.0;  ///< [m/s^2], signed
+  double steer = 0.0;  ///< wheel angle [rad], positive = left
+};
+
+/// Kinematic bicycle integrator s_{i+1} = u(s_i, a_i) — the paper's
+/// Ackermann kinetics model. Deterministic; sub-steps internally for
+/// numerical accuracy at large dt.
+class BicycleModel {
+ public:
+  explicit BicycleModel(VehicleParams params = {}) : params_(params) {}
+
+  const VehicleParams& params() const { return params_; }
+
+  /// Advance by dt seconds under a discrete driving command
+  /// (throttle/brake/steer/reverse semantics of the simulator).
+  State step(const State& s, const Command& cmd, double dt) const;
+
+  /// Advance by dt under the planner's continuous (accel, wheel angle)
+  /// control — the model the CO module linearizes.
+  State step_planner(const State& s, const PlannerControl& u, double dt) const;
+
+  /// Convert a planner control into an equivalent driving command.
+  Command to_command(const State& s, const PlannerControl& u) const;
+
+  /// Vehicle footprint at a given state.
+  geom::Obb footprint(const State& s) const;
+  geom::Obb footprint(const geom::Pose2& pose) const;
+
+ private:
+  State integrate(const State& s, double accel, double wheel_angle, double dt,
+                  bool limit_speed_by_gear, bool reverse_gear) const;
+  VehicleParams params_;
+};
+
+}  // namespace icoil::vehicle

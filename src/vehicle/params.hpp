@@ -1,0 +1,28 @@
+#pragma once
+
+#include "geom/angles.hpp"
+
+namespace icoil::vehicle {
+
+/// Physical and actuation limits of the ego vehicle. Defaults approximate a
+/// compact passenger car (the MoCAM sandbox vehicles are 1:10-scale cars; we
+/// keep full-scale metric values so distances read naturally).
+struct VehicleParams {
+  double wheelbase = 2.6;          ///< front-to-rear axle distance [m]
+  double length = 4.2;             ///< overall footprint length [m]
+  double width = 1.8;              ///< overall footprint width [m]
+  /// Footprint centre offset forward of the rear axle [m].
+  double center_offset = 1.3;
+
+  double max_steer = icoil::geom::deg2rad(35.0);  ///< max wheel angle [rad]
+  double max_speed_fwd = 3.0;      ///< parking-speed cap forward [m/s]
+  double max_speed_rev = 2.0;      ///< parking-speed cap reverse [m/s]
+  double max_accel = 2.0;          ///< full-throttle acceleration [m/s^2]
+  double max_brake = 4.0;          ///< full-brake deceleration [m/s^2]
+  double rolling_drag = 0.4;       ///< speed-proportional drag [1/s]
+
+  /// Turning radius at full steer (rear-axle reference point).
+  double min_turn_radius() const;
+};
+
+}  // namespace icoil::vehicle

@@ -1,0 +1,35 @@
+#include "world/map.hpp"
+
+#include "geom/angles.hpp"
+
+namespace icoil::world {
+
+ParkingLotMap ParkingLotMap::standard() {
+  ParkingLotMap m;
+  m.bounds = {{0.0, 0.0}, {40.0, 30.0}};
+
+  // Six vertical bays along the bottom edge: 3 m wide, 5.5 m deep, opening
+  // toward the aisle (+y).
+  constexpr double kBayWidth = 3.0;
+  constexpr double kBayDepth = 5.5;
+  constexpr double kRowStartX = 20.0;
+  for (int i = 0; i < 6; ++i) {
+    const double cx = kRowStartX + kBayWidth * (0.5 + i);
+    // Bay local x-axis points along the bay depth (+y world): heading pi/2.
+    m.bays.push_back(geom::Obb{{cx, kBayDepth * 0.5}, geom::kPi / 2.0,
+                               kBayDepth * 0.5, kBayWidth * 0.5});
+  }
+  m.goal_bay_index = 3;  // cx = 30.5
+
+  // Reverse-in parked pose: vehicle nose toward the aisle (+y), rear axle
+  // deep in the bay.
+  const geom::Vec2 bay_c = m.bays[m.goal_bay_index].center;
+  m.goal_pose = {bay_c.x, 1.6, geom::kPi / 2.0};
+
+  m.spawn_close = {{18.0, 10.0}, {24.0, 14.0}};
+  m.spawn_remote = {{2.0, 10.0}, {8.0, 14.0}};
+  m.spawn_random = {{2.0, 10.0}, {24.0, 14.0}};
+  return m;
+}
+
+}  // namespace icoil::world

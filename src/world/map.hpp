@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/obb.hpp"
+#include "geom/pose2.hpp"
+
+namespace icoil::world {
+
+/// Static geometry of the Fig-4 parking lot: lot bounds, a row of parking
+/// bays along the bottom edge, a driving aisle, a spawn region (the paper's
+/// green area) and the goal bay (yellow box).
+struct ParkingLotMap {
+  geom::Aabb bounds;                 ///< drivable lot extent
+  std::vector<geom::Obb> bays;       ///< all parking bays
+  std::size_t goal_bay_index = 0;    ///< which bay is the goal
+  geom::Pose2 goal_pose;             ///< target parked pose (rear axle)
+  geom::Aabb spawn_close;            ///< close starting region
+  geom::Aabb spawn_remote;           ///< remote starting region
+  geom::Aabb spawn_random;           ///< union region for random starts
+
+  const geom::Obb& goal_bay() const { return bays[goal_bay_index]; }
+
+  /// The default MoCAM-style lot: 40 m x 30 m, six bays along the bottom,
+  /// goal bay in the middle of the row.
+  static ParkingLotMap standard();
+};
+
+}  // namespace icoil::world

@@ -1,0 +1,59 @@
+#include "world/obstacle.hpp"
+
+#include <cmath>
+
+#include "geom/angles.hpp"
+
+namespace icoil::world {
+
+double MotionScript::path_length() const {
+  double len = 0.0;
+  for (std::size_t i = 1; i < waypoints.size(); ++i)
+    len += geom::distance(waypoints[i - 1], waypoints[i]);
+  return len;
+}
+
+geom::Pose2 MotionScript::pose_at(double t) const {
+  if (!dynamic()) {
+    const geom::Vec2 p = waypoints.empty() ? geom::Vec2{} : waypoints.front();
+    return {p, 0.0};
+  }
+  const double total = path_length();
+  if (total <= 0.0) return {waypoints.front(), 0.0};
+
+  // Ping-pong parameterization: distance advances, then reflects.
+  double s = std::fmod(phase + speed * t, 2.0 * total);
+  if (s < 0.0) s += 2.0 * total;
+  const bool returning = s > total;
+  if (returning) s = 2.0 * total - s;
+
+  double acc = 0.0;
+  for (std::size_t i = 1; i < waypoints.size(); ++i) {
+    const double seg = geom::distance(waypoints[i - 1], waypoints[i]);
+    if (acc + seg >= s || i + 1 == waypoints.size()) {
+      const double frac = seg > 0.0 ? (s - acc) / seg : 0.0;
+      const geom::Vec2 p = geom::lerp(waypoints[i - 1], waypoints[i], frac);
+      geom::Vec2 dir = (waypoints[i] - waypoints[i - 1]).normalized();
+      if (returning) dir = -dir;
+      return {p, dir.angle()};
+    }
+    acc += seg;
+  }
+  return {waypoints.back(), 0.0};
+}
+
+geom::Obb Obstacle::footprint_at(double t) const {
+  if (!dynamic()) return shape;
+  const geom::Pose2 pose = motion.pose_at(t);
+  return {pose.position, pose.heading, shape.half_length, shape.half_width};
+}
+
+geom::Vec2 Obstacle::velocity_at(double t) const {
+  if (!dynamic()) return {};
+  constexpr double kEps = 1e-3;
+  const geom::Pose2 a = motion.pose_at(t);
+  const geom::Pose2 b = motion.pose_at(t + kEps);
+  return (b.position - a.position) / kEps;
+}
+
+}  // namespace icoil::world

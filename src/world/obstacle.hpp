@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/obb.hpp"
+#include "geom/vec2.hpp"
+
+namespace icoil::world {
+
+/// Motion script for a dynamic obstacle: patrol a polyline at constant speed,
+/// reversing at the ends (ping-pong). Static obstacles have an empty script.
+struct MotionScript {
+  std::vector<geom::Vec2> waypoints;
+  double speed = 0.0;  ///< [m/s]
+  double phase = 0.0;  ///< initial position along the patrol, in metres
+
+  bool dynamic() const { return waypoints.size() >= 2 && speed > 0.0; }
+  /// Total one-way patrol length.
+  double path_length() const;
+  /// Centre position and heading after `t` seconds.
+  geom::Pose2 pose_at(double t) const;
+};
+
+/// A parking-lot obstacle: an oriented-box footprint plus an optional motion
+/// script. The paper's easy level uses three static obstacles (blue) and the
+/// normal/hard levels add two dynamic obstacles (red).
+struct Obstacle {
+  int id = 0;
+  std::string name;
+  geom::Obb shape;       ///< footprint at t=0 (centre/heading overridden when dynamic)
+  MotionScript motion;
+
+  bool dynamic() const { return motion.dynamic(); }
+  /// Footprint at simulation time `t`.
+  geom::Obb footprint_at(double t) const;
+  /// Centre velocity at time `t` (zero for static obstacles).
+  geom::Vec2 velocity_at(double t) const;
+};
+
+}  // namespace icoil::world

@@ -1,0 +1,135 @@
+#include "world/scenario.hpp"
+
+#include <algorithm>
+
+#include "geom/angles.hpp"
+#include "mathkit/rng.hpp"
+#include "vehicle/kinematics.hpp"
+
+namespace icoil::world {
+
+std::string to_string(Difficulty d) {
+  switch (d) {
+    case Difficulty::kEasy: return "easy";
+    case Difficulty::kNormal: return "normal";
+    case Difficulty::kHard: return "hard";
+  }
+  return "?";
+}
+
+std::string to_string(StartClass s) {
+  switch (s) {
+    case StartClass::kClose: return "close";
+    case StartClass::kRemote: return "remote";
+    case StartClass::kRandom: return "random";
+  }
+  return "?";
+}
+
+std::vector<Obstacle> canonical_obstacles() {
+  std::vector<Obstacle> obs;
+  const ParkingLotMap map = ParkingLotMap::standard();
+  const double bay_heading = geom::kPi / 2.0;
+
+  // Static 1 & 2: cars parked in the bays flanking the goal bay.
+  const geom::Obb& left_bay = map.bays[map.goal_bay_index - 1];
+  const geom::Obb& right_bay = map.bays[map.goal_bay_index + 1];
+  obs.push_back({0, "parked_car_left",
+                 geom::Obb{{left_bay.center.x, 2.9}, bay_heading, 2.1, 0.9},
+                 {}});
+  obs.push_back({1, "parked_car_right",
+                 geom::Obb{{right_bay.center.x, 2.9}, bay_heading, 2.1, 0.9},
+                 {}});
+  // Static 3: a pillar/crate on the aisle side, forcing a detour.
+  obs.push_back({2, "aisle_pillar", geom::Obb{{14.0, 17.0}, 0.0, 1.0, 1.0}, {}});
+
+  // Dynamic 1: a vehicle patrolling the aisle above the bay row.
+  Obstacle patrol;
+  patrol.id = 3;
+  patrol.name = "patrol_vehicle";
+  patrol.shape = geom::Obb{{0.0, 0.0}, 0.0, 2.1, 0.9};
+  patrol.motion.waypoints = {{10.0, 19.5}, {30.0, 19.5}};
+  patrol.motion.speed = 1.2;
+  obs.push_back(patrol);
+
+  // Dynamic 2: a pedestrian crossing between the bay row and the aisle.
+  Obstacle ped;
+  ped.id = 4;
+  ped.name = "pedestrian";
+  ped.shape = geom::Obb{{0.0, 0.0}, 0.0, 0.35, 0.35};
+  ped.motion.waypoints = {{26.0, 9.0}, {26.0, 16.0}};
+  ped.motion.speed = 0.7;
+  ped.motion.phase = 3.0;
+  obs.push_back(ped);
+
+  return obs;
+}
+
+namespace {
+
+const geom::Aabb& spawn_region(const ParkingLotMap& map, StartClass s) {
+  switch (s) {
+    case StartClass::kClose: return map.spawn_close;
+    case StartClass::kRemote: return map.spawn_remote;
+    case StartClass::kRandom: return map.spawn_random;
+  }
+  return map.spawn_random;
+}
+
+}  // namespace
+
+Scenario make_scenario(const ScenarioOptions& options, std::uint64_t seed) {
+  math::Rng rng(seed ^ 0xA5C3D2E1ull);
+  Scenario sc;
+  sc.map = ParkingLotMap::standard();
+  sc.difficulty = options.difficulty;
+  sc.start_class = options.start_class;
+  sc.seed = seed;
+  sc.time_limit = options.time_limit;
+
+  // Obstacle roster: level default or explicit override (Fig 8 sweep).
+  std::vector<Obstacle> roster = canonical_obstacles();
+  int count;
+  if (options.num_obstacles_override >= 0) {
+    count = std::min<int>(options.num_obstacles_override,
+                          static_cast<int>(roster.size()));
+  } else {
+    count = options.difficulty == Difficulty::kEasy ? 3
+                                                    : static_cast<int>(roster.size());
+  }
+  roster.resize(count);
+  // Jitter dynamic obstacle phases so seeds see different timings.
+  for (Obstacle& o : roster)
+    if (o.dynamic()) o.motion.phase += rng.uniform(0.0, o.motion.path_length());
+  sc.obstacles = std::move(roster);
+
+  // Hard level injects image and bounding-box noise (section V-B).
+  if (options.difficulty == Difficulty::kHard) {
+    sc.noise.image_gaussian_sigma = 0.08;
+    sc.noise.image_salt_pepper = 0.02;
+    sc.noise.box_position_sigma = 0.12;
+    sc.noise.box_extent_sigma = 0.06;
+    sc.noise.box_heading_sigma = 0.03;
+    sc.noise.box_dropout = 0.03;
+  }
+
+  // Sample the start pose inside the spawn region, heading roughly along the
+  // aisle (toward +x) with a small random offset. Re-sample (bounded) until
+  // the ego footprint is clear of every obstacle's initial position —
+  // a dynamic obstacle's patrol can otherwise cross the spawn region.
+  const geom::Aabb& region = spawn_region(sc.map, options.start_class);
+  const vehicle::BicycleModel model;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    sc.start_pose = {rng.uniform(region.min.x, region.max.x),
+                     rng.uniform(region.min.y, region.max.y),
+                     geom::wrap_angle(rng.uniform(-0.25, 0.25))};
+    const geom::Obb fp = model.footprint(sc.start_pose).inflated(0.3);
+    bool clear = true;
+    for (const Obstacle& o : sc.obstacles)
+      clear = clear && !geom::overlaps(fp, o.footprint_at(0.0));
+    if (clear) break;
+  }
+  return sc;
+}
+
+}  // namespace icoil::world

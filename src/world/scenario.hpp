@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "world/map.hpp"
+#include "world/obstacle.hpp"
+
+namespace icoil::world {
+
+/// Paper difficulty levels (section V-B):
+///  Easy   — three static obstacles.
+///  Normal — three static + two dynamic obstacles.
+///  Hard   — all obstacles + noise injected into BEV images and boxes.
+enum class Difficulty { kEasy, kNormal, kHard };
+
+/// Starting-point classes of the Fig-8 sensitivity study.
+enum class StartClass { kClose, kRemote, kRandom };
+
+std::string to_string(Difficulty d);
+std::string to_string(StartClass s);
+
+/// Sensor corruption levels (exercised at the hard difficulty).
+struct NoiseConfig {
+  double image_gaussian_sigma = 0.0;   ///< additive pixel noise
+  double image_salt_pepper = 0.0;      ///< probability a pixel is flipped
+  double box_position_sigma = 0.0;     ///< [m] detection centre jitter
+  double box_extent_sigma = 0.0;       ///< [m] detection size jitter
+  double box_heading_sigma = 0.0;      ///< [rad] detection heading jitter
+  double box_dropout = 0.0;            ///< probability a detection is missed
+
+  bool any() const {
+    return image_gaussian_sigma > 0.0 || image_salt_pepper > 0.0 ||
+           box_position_sigma > 0.0 || box_extent_sigma > 0.0 ||
+           box_heading_sigma > 0.0 || box_dropout > 0.0;
+  }
+};
+
+/// Complete description of one AP task instance.
+struct Scenario {
+  ParkingLotMap map;
+  std::vector<Obstacle> obstacles;
+  Difficulty difficulty = Difficulty::kEasy;
+  StartClass start_class = StartClass::kRandom;
+  NoiseConfig noise;
+  geom::Pose2 start_pose;       ///< sampled ego start (rear axle)
+  std::uint64_t seed = 0;       ///< seed that generated this instance
+  double time_limit = 60.0;     ///< episode timeout [s]
+};
+
+/// Options for building scenarios; `num_obstacles_override` (Fig 8) keeps the
+/// first N obstacles of the canonical list (static first, then dynamic).
+struct ScenarioOptions {
+  Difficulty difficulty = Difficulty::kEasy;
+  StartClass start_class = StartClass::kRandom;
+  int num_obstacles_override = -1;  ///< -1 = level default
+  double time_limit = 60.0;
+};
+
+/// Deterministically build a scenario instance for a seed: samples the start
+/// pose inside the requested spawn region and instantiates the level's
+/// obstacles and noise settings.
+Scenario make_scenario(const ScenarioOptions& options, std::uint64_t seed);
+
+/// The canonical obstacle roster of the Fig-4 map: three static (parked cars
+/// flanking the goal bay + an aisle pillar) and two dynamic (a patrolling
+/// vehicle and a crossing pedestrian).
+std::vector<Obstacle> canonical_obstacles();
+
+}  // namespace icoil::world

@@ -1,0 +1,51 @@
+#include "world/world.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "geom/angles.hpp"
+
+namespace icoil::world {
+
+World::World(Scenario scenario) : scenario_(std::move(scenario)) {}
+
+std::vector<ObstacleState> World::obstacle_states() const {
+  std::vector<ObstacleState> out;
+  out.reserve(scenario_.obstacles.size());
+  for (const Obstacle& o : scenario_.obstacles) {
+    out.push_back({o.id, o.footprint_at(time_), o.velocity_at(time_), o.dynamic()});
+  }
+  return out;
+}
+
+std::vector<geom::Obb> World::obstacle_boxes() const {
+  std::vector<geom::Obb> out;
+  out.reserve(scenario_.obstacles.size());
+  for (const Obstacle& o : scenario_.obstacles) out.push_back(o.footprint_at(time_));
+  return out;
+}
+
+bool World::in_collision(const geom::Obb& footprint) const {
+  // Lot boundary: every footprint corner must stay inside.
+  for (const geom::Vec2& c : footprint.corners())
+    if (!scenario_.map.bounds.contains(c)) return true;
+  for (const Obstacle& o : scenario_.obstacles)
+    if (geom::overlaps(footprint, o.footprint_at(time_))) return true;
+  return false;
+}
+
+double World::clearance(const geom::Obb& footprint) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Obstacle& o : scenario_.obstacles)
+    best = std::min(best, geom::obb_distance(footprint, o.footprint_at(time_)));
+  return best;
+}
+
+bool World::at_goal(const geom::Pose2& pose, double pos_tol,
+                    double heading_tol) const {
+  const geom::Pose2& goal = scenario_.map.goal_pose;
+  return geom::distance(pose.position, goal.position) <= pos_tol &&
+         std::abs(geom::angle_diff(pose.heading, goal.heading)) <= heading_tol;
+}
+
+}  // namespace icoil::world

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/obb.hpp"
+#include "vehicle/kinematics.hpp"
+#include "world/scenario.hpp"
+
+namespace icoil::world {
+
+/// Ground-truth snapshot of one obstacle at the current world time.
+struct ObstacleState {
+  int id = 0;
+  geom::Obb box;
+  geom::Vec2 velocity;
+  bool dynamic = false;
+};
+
+/// The live environment: advances dynamic obstacles and answers geometric
+/// queries (collisions, goal membership). The World owns ground truth; the
+/// sensing module corrupts it into observations.
+class World {
+ public:
+  explicit World(Scenario scenario);
+
+  const Scenario& scenario() const { return scenario_; }
+  const ParkingLotMap& map() const { return scenario_.map; }
+  double time() const { return time_; }
+
+  /// Advance world time (moves scripted obstacles).
+  void step(double dt) { time_ += dt; }
+  /// Reset world time to zero.
+  void reset() { time_ = 0.0; }
+
+  /// Ground-truth obstacle footprints at the current time.
+  std::vector<ObstacleState> obstacle_states() const;
+  std::vector<geom::Obb> obstacle_boxes() const;
+
+  /// True if `footprint` hits any obstacle or leaves the lot bounds.
+  bool in_collision(const geom::Obb& footprint) const;
+  /// Distance from `footprint` to the nearest obstacle (inf if none).
+  double clearance(const geom::Obb& footprint) const;
+
+  /// True when the pose is parked: inside goal tolerance in SE(2).
+  bool at_goal(const geom::Pose2& pose, double pos_tol = 0.6,
+               double heading_tol = 0.35) const;
+
+ private:
+  Scenario scenario_;
+  double time_ = 0.0;
+};
+
+}  // namespace icoil::world

@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/aabb.hpp"
+#include "geom/angles.hpp"
+#include "geom/obb.hpp"
+#include "geom/pose2.hpp"
+#include "geom/segment.hpp"
+#include "geom/vec2.hpp"
+#include "mathkit/rng.hpp"
+
+namespace icoil::geom {
+namespace {
+
+// ------------------------------------------------------------------ Vec2
+
+TEST(Vec2Test, ArithmeticBasics) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -4.0};
+  EXPECT_DOUBLE_EQ((a + b).x, 4.0);
+  EXPECT_DOUBLE_EQ((a + b).y, -2.0);
+  EXPECT_DOUBLE_EQ((a - b).x, -2.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).y, 4.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).y, 4.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).x, 0.5);
+}
+
+TEST(Vec2Test, DotAndCross) {
+  const Vec2 a{1.0, 0.0}, b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), 1.0);
+  EXPECT_DOUBLE_EQ(b.cross(a), -1.0);
+}
+
+TEST(Vec2Test, NormAndNormalize) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm_sq(), 25.0);
+  EXPECT_NEAR(v.normalized().norm(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Vec2{}.normalized().norm(), 0.0);
+}
+
+TEST(Vec2Test, PerpIsCcwRotation) {
+  const Vec2 v{1.0, 0.0};
+  EXPECT_DOUBLE_EQ(v.perp().x, 0.0);
+  EXPECT_DOUBLE_EQ(v.perp().y, 1.0);
+  EXPECT_DOUBLE_EQ(v.dot(v.perp()), 0.0);
+}
+
+TEST(Vec2Test, RotationRoundTrip) {
+  const Vec2 v{2.0, -1.0};
+  const Vec2 r = v.rotated(0.7).rotated(-0.7);
+  EXPECT_NEAR(r.x, v.x, 1e-12);
+  EXPECT_NEAR(r.y, v.y, 1e-12);
+}
+
+TEST(Vec2Test, RotationPreservesNorm) {
+  math::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const Vec2 v{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    EXPECT_NEAR(v.rotated(rng.uniform(-6, 6)).norm(), v.norm(), 1e-9);
+  }
+}
+
+TEST(Vec2Test, LerpEndpointsAndMidpoint) {
+  const Vec2 a{0.0, 0.0}, b{10.0, -2.0};
+  EXPECT_TRUE(almost_equal(lerp(a, b, 0.0), a));
+  EXPECT_TRUE(almost_equal(lerp(a, b, 1.0), b));
+  EXPECT_TRUE(almost_equal(lerp(a, b, 0.5), Vec2{5.0, -1.0}));
+}
+
+// ---------------------------------------------------------------- angles
+
+TEST(AnglesTest, WrapAngleRange) {
+  for (double a = -20.0; a < 20.0; a += 0.37) {
+    const double w = wrap_angle(a);
+    EXPECT_GT(w, -kPi - 1e-12);
+    EXPECT_LE(w, kPi + 1e-12);
+    EXPECT_NEAR(std::sin(w), std::sin(a), 1e-9);
+    EXPECT_NEAR(std::cos(w), std::cos(a), 1e-9);
+  }
+}
+
+TEST(AnglesTest, Wrap2PiRange) {
+  for (double a = -20.0; a < 20.0; a += 0.41) {
+    const double w = wrap_angle_2pi(a);
+    EXPECT_GE(w, 0.0);
+    EXPECT_LT(w, kTwoPi);
+  }
+}
+
+TEST(AnglesTest, AngleDiffShortestArc) {
+  EXPECT_NEAR(angle_diff(0.1, -0.1), 0.2, 1e-12);
+  EXPECT_NEAR(angle_diff(-3.1, 3.1), kTwoPi - 6.2, 1e-9);
+  EXPECT_NEAR(angle_diff(kPi, -kPi), 0.0, 1e-12);
+}
+
+TEST(AnglesTest, Deg2RadRoundTrip) {
+  EXPECT_NEAR(rad2deg(deg2rad(123.0)), 123.0, 1e-12);
+  EXPECT_NEAR(deg2rad(180.0), kPi, 1e-12);
+}
+
+// ----------------------------------------------------------------- Pose2
+
+TEST(Pose2Test, ToWorldToLocalRoundTrip) {
+  const Pose2 pose{3.0, -2.0, 0.9};
+  const Vec2 p{1.5, 0.4};
+  EXPECT_TRUE(almost_equal(pose.to_local(pose.to_world(p)), p, 1e-9));
+}
+
+TEST(Pose2Test, ForwardLeftOrthonormal) {
+  const Pose2 pose{0.0, 0.0, 0.63};
+  EXPECT_NEAR(pose.forward().dot(pose.left()), 0.0, 1e-12);
+  EXPECT_NEAR(pose.forward().norm(), 1.0, 1e-12);
+  EXPECT_NEAR(pose.forward().cross(pose.left()), 1.0, 1e-12);
+}
+
+TEST(Pose2Test, ComposeWithInverseIsIdentity) {
+  const Pose2 pose{1.0, 2.0, -1.1};
+  const Pose2 id = pose.compose(pose.inverse());
+  EXPECT_NEAR(id.x(), 0.0, 1e-9);
+  EXPECT_NEAR(id.y(), 0.0, 1e-9);
+  EXPECT_NEAR(id.heading, 0.0, 1e-9);
+}
+
+TEST(Pose2Test, ComposeTranslatesInLocalFrame) {
+  const Pose2 pose{0.0, 0.0, kPi / 2.0};
+  const Pose2 moved = pose.compose({1.0, 0.0, 0.0});
+  EXPECT_NEAR(moved.x(), 0.0, 1e-9);
+  EXPECT_NEAR(moved.y(), 1.0, 1e-9);
+}
+
+TEST(Pose2Test, Se2DistanceWeightsHeading) {
+  const Pose2 a{0, 0, 0}, b{0, 0, 0.5};
+  EXPECT_NEAR(se2_distance(a, b, 2.0), 1.0, 1e-12);
+}
+
+// --------------------------------------------------------------- Segment
+
+TEST(SegmentTest, ClosestPointClampsToEndpoints) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_TRUE(almost_equal(s.closest_point({-5, 3}), Vec2{0, 0}));
+  EXPECT_TRUE(almost_equal(s.closest_point({15, 3}), Vec2{10, 0}));
+  EXPECT_TRUE(almost_equal(s.closest_point({5, 3}), Vec2{5, 0}));
+}
+
+TEST(SegmentTest, DistanceToPoint) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_NEAR(s.distance_to({5, 3}), 3.0, 1e-12);
+  EXPECT_NEAR(s.distance_to({-3, 4}), 5.0, 1e-12);
+}
+
+TEST(SegmentTest, IntersectionCross) {
+  const Segment a{{0, -1}, {0, 1}};
+  const Segment b{{-1, 0}, {1, 0}};
+  EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(SegmentTest, NoIntersectionParallel) {
+  const Segment a{{0, 0}, {10, 0}};
+  const Segment b{{0, 1}, {10, 1}};
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_NEAR(segment_distance(a, b), 1.0, 1e-12);
+}
+
+TEST(SegmentTest, CollinearTouching) {
+  const Segment a{{0, 0}, {5, 0}};
+  const Segment b{{5, 0}, {9, 0}};
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_NEAR(segment_distance(a, b), 0.0, 1e-12);
+}
+
+// ------------------------------------------------------------------ Aabb
+
+TEST(AabbTest, ExpandAndContain) {
+  Aabb box;
+  EXPECT_FALSE(box.valid());
+  box.expand({1, 1});
+  box.expand({-1, 3});
+  EXPECT_TRUE(box.valid());
+  EXPECT_TRUE(box.contains({0, 2}));
+  EXPECT_FALSE(box.contains({2, 2}));
+  EXPECT_NEAR(box.width(), 2.0, 1e-12);
+  EXPECT_NEAR(box.height(), 2.0, 1e-12);
+}
+
+TEST(AabbTest, OverlapAndInflate) {
+  const Aabb a{{0, 0}, {2, 2}};
+  const Aabb b{{3, 3}, {4, 4}};
+  EXPECT_FALSE(a.overlaps(b));
+  EXPECT_TRUE(a.inflated(1.0).overlaps(b));
+  EXPECT_TRUE(a.overlaps(a));
+}
+
+TEST(AabbTest, FromCenter) {
+  const Aabb box = Aabb::from_center({5, 5}, 2, 1);
+  EXPECT_TRUE(box.contains({6.9, 5.9}));
+  EXPECT_FALSE(box.contains({7.1, 5.0}));
+  EXPECT_TRUE(almost_equal(box.center(), Vec2{5, 5}));
+}
+
+// ------------------------------------------------------------------- Obb
+
+TEST(ObbTest, CornersAxisAligned) {
+  const Obb box{{0, 0}, 0.0, 2.0, 1.0};
+  const auto corners = box.corners();
+  Aabb aabb;
+  for (const Vec2& c : corners) aabb.expand(c);
+  EXPECT_NEAR(aabb.width(), 4.0, 1e-12);
+  EXPECT_NEAR(aabb.height(), 2.0, 1e-12);
+}
+
+TEST(ObbTest, ContainsRespectsRotation) {
+  const Obb box{{0, 0}, kPi / 2.0, 2.0, 0.5};
+  EXPECT_TRUE(box.contains({0.0, 1.9}));   // along rotated long axis
+  EXPECT_FALSE(box.contains({1.9, 0.0}));  // along rotated short axis
+}
+
+TEST(ObbTest, SignedDistanceInsideNegative) {
+  const Obb box{{0, 0}, 0.3, 2.0, 1.0};
+  EXPECT_LT(box.signed_distance_to({0, 0}), 0.0);
+  EXPECT_GT(box.signed_distance_to({5, 5}), 0.0);
+}
+
+TEST(ObbTest, DistanceToExternalPoint) {
+  const Obb box{{0, 0}, 0.0, 1.0, 1.0};
+  EXPECT_NEAR(box.distance_to({3.0, 0.0}), 2.0, 1e-12);
+  EXPECT_NEAR(box.distance_to({0.0, -4.0}), 3.0, 1e-12);
+  EXPECT_NEAR(box.distance_to({0.5, 0.5}), 0.0, 1e-12);
+}
+
+TEST(ObbTest, OverlapSeparatedBoxes) {
+  const Obb a{{0, 0}, 0.0, 1.0, 1.0};
+  const Obb b{{3.0, 0}, 0.0, 1.0, 1.0};
+  EXPECT_FALSE(overlaps(a, b));
+  const Obb c{{1.5, 0}, 0.0, 1.0, 1.0};
+  EXPECT_TRUE(overlaps(a, c));
+}
+
+TEST(ObbTest, OverlapNeedsBothProjections) {
+  // Rotated box near the corner of an axis-aligned box: SAT must catch it.
+  const Obb a{{0, 0}, 0.0, 1.0, 1.0};
+  const Obb b{{2.0, 2.0}, kPi / 4.0, 1.2, 0.2};
+  EXPECT_FALSE(overlaps(a, b));
+  const Obb c{{1.2, 1.2}, kPi / 4.0, 1.2, 0.2};
+  EXPECT_TRUE(overlaps(a, c));
+}
+
+TEST(ObbTest, DistanceMatchesGapBetweenParallelBoxes) {
+  const Obb a{{0, 0}, 0.0, 1.0, 1.0};
+  const Obb b{{5.0, 0.0}, 0.0, 1.0, 1.0};
+  EXPECT_NEAR(obb_distance(a, b), 3.0, 1e-9);
+  EXPECT_NEAR(obb_distance(b, a), 3.0, 1e-9);
+}
+
+TEST(ObbTest, DistanceZeroWhenOverlapping) {
+  const Obb a{{0, 0}, 0.2, 1.0, 1.0};
+  const Obb b{{0.5, 0.5}, -0.4, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(obb_distance(a, b), 0.0);
+}
+
+TEST(ObbTest, InflatedGrowsDistanceShrinks) {
+  const Obb a{{0, 0}, 0.0, 1.0, 1.0};
+  const Obb b{{4.0, 0.0}, 0.0, 1.0, 1.0};
+  EXPECT_NEAR(obb_distance(a.inflated(0.5), b), 1.5, 1e-9);
+}
+
+TEST(ObbTest, FromPoseAppliesOffset) {
+  const Pose2 pose{0, 0, 0};
+  const Obb box = Obb::from_pose(pose, 4.0, 2.0, 1.0);
+  EXPECT_NEAR(box.center.x, 1.0, 1e-12);
+  EXPECT_TRUE(box.contains({2.9, 0.0}));
+  EXPECT_FALSE(box.contains({-1.1, 0.0}));
+}
+
+TEST(ObbTest, ClosestPointsSymmetricGap) {
+  const Obb a{{0, 0}, 0.0, 1.0, 1.0};
+  const Obb b{{4.0, 0.0}, 0.0, 1.0, 1.0};
+  const auto [pa, pb] = closest_points(a, b);
+  EXPECT_NEAR(distance(pa, pb), obb_distance(a, b), 1e-9);
+  EXPECT_NEAR(pa.x, 1.0, 1e-9);
+  EXPECT_NEAR(pb.x, 3.0, 1e-9);
+}
+
+// Property sweep: distance is symmetric, non-negative, and zero iff overlap.
+class ObbPairProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ObbPairProperty, DistanceInvariants) {
+  math::Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 5);
+  const Obb a{{rng.uniform(-5, 5), rng.uniform(-5, 5)}, rng.uniform(-3, 3),
+              rng.uniform(0.2, 2.0), rng.uniform(0.2, 2.0)};
+  const Obb b{{rng.uniform(-5, 5), rng.uniform(-5, 5)}, rng.uniform(-3, 3),
+              rng.uniform(0.2, 2.0), rng.uniform(0.2, 2.0)};
+  const double dab = obb_distance(a, b);
+  const double dba = obb_distance(b, a);
+  EXPECT_NEAR(dab, dba, 1e-9);
+  EXPECT_GE(dab, 0.0);
+  EXPECT_EQ(dab == 0.0, overlaps(a, b));
+  // Triangle-ish sanity: centre distance bounds box distance from above.
+  EXPECT_LE(dab, distance(a.center, b.center) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPairs, ObbPairProperty, ::testing::Range(0, 40));
+
+// Property: contains(corner midpoint) for random boxes.
+class ObbContainsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ObbContainsProperty, CentreAndEdgeMidpoints) {
+  math::Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 17);
+  const Obb box{{rng.uniform(-5, 5), rng.uniform(-5, 5)}, rng.uniform(-3, 3),
+                rng.uniform(0.3, 3.0), rng.uniform(0.3, 3.0)};
+  EXPECT_TRUE(box.contains(box.center));
+  const auto corners = box.corners();
+  for (int i = 0; i < 4; ++i) {
+    const Vec2 mid = (corners[i] + corners[(i + 1) % 4]) * 0.5;
+    // Slightly inside the edge midpoint must be contained.
+    EXPECT_TRUE(box.contains(lerp(mid, box.center, 1e-6)));
+    // Slightly outside must not.
+    EXPECT_FALSE(box.contains(mid + (mid - box.center).normalized() * 1e-3));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomBoxes, ObbContainsProperty, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace icoil::geom

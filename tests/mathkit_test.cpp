@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "mathkit/ldlt.hpp"
+#include "mathkit/matrix.hpp"
+#include "mathkit/qp.hpp"
+#include "mathkit/rng.hpp"
+#include "mathkit/stats.hpp"
+#include "mathkit/table.hpp"
+
+namespace icoil::math {
+namespace {
+
+// ---------------------------------------------------------------- Matrix
+
+TEST(MatrixTest, InitializerListAndAccess) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  const Matrix i = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+  const Matrix d = Matrix::diagonal({2, 3});
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  const Matrix tt = t.transpose();
+  EXPECT_DOUBLE_EQ(tt(1, 2), 6.0);
+}
+
+TEST(MatrixTest, MultiplyKnownProduct) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, ApplyMatchesMultiply) {
+  const Matrix a{{1, 2, 0}, {0, -1, 3}};
+  const std::vector<double> x{1, 2, 3};
+  const auto y = a.apply(x);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(MatrixTest, ApplyTransposeMatchesTransposeApply) {
+  const Matrix a{{1, 2, 0}, {0, -1, 3}};
+  const std::vector<double> x{2, -1};
+  const auto y1 = a.apply_transpose(x);
+  const auto y2 = a.transpose().apply(x);
+  ASSERT_EQ(y1.size(), y2.size());
+  for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_DOUBLE_EQ(y1[i], y2[i]);
+}
+
+TEST(MatrixTest, SetBlock) {
+  Matrix m(4, 4);
+  m.set_block(1, 1, Matrix{{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m(2, 2), 4.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(MatrixTest, VectorHelpers) {
+  const std::vector<double> a{1, -2, 3}, b{2, 2, 2};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(norm_inf(a), 3.0);
+  EXPECT_NEAR(norm2(b), std::sqrt(12.0), 1e-12);
+  EXPECT_DOUBLE_EQ(add(a, b)[1], 0.0);
+  EXPECT_DOUBLE_EQ(sub(a, b)[0], -1.0);
+  EXPECT_DOUBLE_EQ(scale(a, -1.0)[2], -3.0);
+}
+
+// ------------------------------------------------------------------ LDLT
+
+TEST(LdltTest, SolvesSpdSystem) {
+  const Matrix m{{4, 1, 0}, {1, 3, -1}, {0, -1, 2}};
+  const std::vector<double> b{1, 2, 3};
+  const auto x = solve_spd(m, b);
+  ASSERT_TRUE(x.has_value());
+  const auto r = m.apply(*x);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(r[i], b[i], 1e-9);
+}
+
+TEST(LdltTest, FailsOnSingular) {
+  const Matrix m{{1, 1}, {1, 1}};
+  EXPECT_FALSE(Ldlt::factorize(m).has_value());
+}
+
+TEST(LdltTest, FailsOnNonSquare) {
+  const Matrix m(2, 3);
+  EXPECT_FALSE(Ldlt::factorize(m).has_value());
+}
+
+TEST(LdltTest, HandlesIndefiniteQuasiDefinite) {
+  // Symmetric quasi-definite (positive then negative block) still factors.
+  const Matrix m{{2, 1}, {1, -3}};
+  const auto f = Ldlt::factorize(m);
+  ASSERT_TRUE(f.has_value());
+  const std::vector<double> b{1, 1};
+  const auto x = f->solve(b);
+  const auto r = m.apply(x);
+  EXPECT_NEAR(r[0], 1.0, 1e-9);
+  EXPECT_NEAR(r[1], 1.0, 1e-9);
+}
+
+class LdltRandomSpd : public ::testing::TestWithParam<int> {};
+
+TEST_P(LdltRandomSpd, ResidualSmall) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  const std::size_t n = 3 + static_cast<std::size_t>(GetParam()) % 8;
+  // A^T A + I is SPD.
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+  Matrix m = a.transpose() * a;
+  for (std::size_t i = 0; i < n; ++i) m(i, i) += 1.0;
+  std::vector<double> b(n);
+  for (double& v : b) v = rng.normal();
+  const auto x = solve_spd(m, b);
+  ASSERT_TRUE(x.has_value());
+  const auto r = sub(m.apply(*x), b);
+  EXPECT_LT(norm_inf(r), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSystems, LdltRandomSpd, ::testing::Range(0, 20));
+
+// -------------------------------------------------------------------- QP
+
+TEST(QpTest, UnconstrainedQuadratic) {
+  // min 0.5 x^T I x - [1,2]^T x  ->  x = (1, 2)
+  QpProblem p;
+  p.p = Matrix::identity(2);
+  p.q = {-1, -2};
+  p.a = Matrix(0, 2);
+  const QpResult r = QpSolver().solve(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-3);
+}
+
+TEST(QpTest, BoxConstrainedProjectsOntoBounds) {
+  // min (x-5)^2 s.t. x <= 1
+  QpProblem p;
+  p.p = Matrix{{2}};
+  p.q = {-10};
+  p.a = Matrix{{1}};
+  p.l = {-kQpInf};
+  p.u = {1.0};
+  const QpResult r = QpSolver().solve(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+}
+
+TEST(QpTest, EqualityConstraint) {
+  // min x^2 + y^2 s.t. x + y = 2 -> (1, 1)
+  QpProblem p;
+  p.p = Matrix::identity(2) * 2.0;
+  p.q = {0, 0};
+  p.a = Matrix{{1, 1}};
+  p.l = {2.0};
+  p.u = {2.0};
+  const QpResult r = QpSolver().solve(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(QpTest, ActiveInequalityMixesWithEquality) {
+  // min (x-3)^2 + (y+1)^2  s.t. x + y = 1, y >= 0  ->  x = 1, y = 0.
+  QpProblem p;
+  p.p = Matrix::identity(2) * 2.0;
+  p.q = {-6.0, 2.0};
+  p.a = Matrix{{1, 1}, {0, 1}};
+  p.l = {1.0, 0.0};
+  p.u = {1.0, kQpInf};
+  const QpResult r = QpSolver().solve(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.x[0], 1.0, 5e-3);
+  EXPECT_NEAR(r.x[1], 0.0, 5e-3);
+}
+
+TEST(QpTest, WarmStartReducesIterations) {
+  QpProblem p;
+  p.p = Matrix::identity(4) * 2.0;
+  p.q = {-1, -2, -3, -4};
+  p.a = Matrix::identity(4);
+  p.l = {0, 0, 0, 0};
+  p.u = {1, 1, 1, 1};
+  QpSolver solver;
+  const QpResult cold = solver.solve(p);
+  ASSERT_TRUE(cold.ok());
+  const QpResult warm = solver.solve(p, &cold.x, &cold.y);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_LE(warm.iterations, cold.iterations);
+}
+
+TEST(QpTest, RejectsInvalidProblem) {
+  QpProblem p;  // empty everything but mismatched bounds
+  p.p = Matrix::identity(2);
+  p.q = {0, 0};
+  p.a = Matrix{{1, 0}};
+  p.l = {1.0};
+  p.u = {0.0};  // l > u
+  const QpResult r = QpSolver().solve(p);
+  EXPECT_EQ(r.status, QpStatus::kInvalidProblem);
+}
+
+TEST(QpTest, SolutionSatisfiesConstraints) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 6;
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal() * 0.3;
+    QpProblem p;
+    p.p = a.transpose() * a;
+    for (std::size_t i = 0; i < n; ++i) p.p(i, i) += 1.0;
+    p.q.assign(n, 0.0);
+    for (double& v : p.q) v = rng.normal();
+    p.a = Matrix::identity(n);
+    p.l.assign(n, -1.0);
+    p.u.assign(n, 1.0);
+    const QpResult r = QpSolver().solve(p);
+    ASSERT_TRUE(r.ok());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_GE(r.x[i], -1.0 - 1e-3);
+      EXPECT_LE(r.x[i], 1.0 + 1e-3);
+    }
+  }
+}
+
+TEST(QpTest, ObjectiveNotWorseThanFeasibleGuess) {
+  // Compare solver objective against an arbitrary feasible point.
+  QpProblem p;
+  p.p = Matrix{{2, 0}, {0, 4}};
+  p.q = {-2, -8};
+  p.a = Matrix::identity(2);
+  p.l = {0, 0};
+  p.u = {10, 10};
+  const QpResult r = QpSolver().solve(p);
+  ASSERT_TRUE(r.ok());
+  const std::vector<double> guess{0.5, 0.5};
+  const double guess_obj = 0.5 * dot(guess, p.p.apply(guess)) + dot(p.q, guess);
+  EXPECT_LE(r.objective, guess_obj + 1e-6);
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(StatsTest, RunningStatsBasics) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, MergeMatchesCombined) {
+  RunningStats a, b, all;
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StatsTest, EmptyStatsAreZero) {
+  const RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StatsTest, Percentile) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(StatsTest, Mean) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+// ------------------------------------------------------------------- RNG
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, ForkDiverges) {
+  Rng a(9);
+  Rng b = a.fork();
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= a.uniform() != b.uniform();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+// ----------------------------------------------------------------- table
+
+TEST(TableTest, PrintAlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row_numeric("b", {2.5}, 1);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, CsvOutput) {
+  TextTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(TableTest, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+}
+
+}  // namespace
+}  // namespace icoil::math

@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/co_controller.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/expert.hpp"
+#include "sim/policy_store.hpp"
+#include "sim/simulator.hpp"
+
+namespace icoil::sim {
+namespace {
+
+/// A controller that always emits a fixed command — handy for forcing
+/// specific simulator outcomes.
+class FixedController final : public core::Controller {
+ public:
+  explicit FixedController(vehicle::Command cmd) : cmd_(cmd) {}
+  std::string name() const override { return "fixed"; }
+  void reset(const world::Scenario&) override {}
+  vehicle::Command act(const world::World&, const vehicle::State&,
+                       math::Rng&) override {
+    frame_.command = cmd_;
+    frame_.mode = core::Mode::kCo;
+    return cmd_;
+  }
+  const core::FrameInfo& last_frame() const override { return frame_; }
+
+ private:
+  vehicle::Command cmd_;
+  core::FrameInfo frame_;
+};
+
+world::Scenario easy_scenario(std::uint64_t seed = 500) {
+  world::ScenarioOptions opt;
+  opt.difficulty = world::Difficulty::kEasy;
+  return world::make_scenario(opt, seed);
+}
+
+TEST(SimulatorTest, FullThrottleEndsInCollision) {
+  // Driving straight at full throttle must eventually leave the lot or hit
+  // something.
+  FixedController controller({1.0, 0.0, 0.0, false});
+  Simulator sim;
+  const EpisodeResult res = sim.run(easy_scenario(), controller, 1);
+  EXPECT_EQ(res.outcome, Outcome::kCollision);
+  EXPECT_GT(res.frames, 10u);
+  EXPECT_LT(res.park_time, 60.0);
+}
+
+TEST(SimulatorTest, HoldingStillTimesOut) {
+  FixedController controller(vehicle::Command::full_stop());
+  world::Scenario sc = easy_scenario();
+  sc.time_limit = 3.0;
+  Simulator sim;
+  const EpisodeResult res = sim.run(sc, controller, 1);
+  EXPECT_EQ(res.outcome, Outcome::kTimeout);
+  EXPECT_DOUBLE_EQ(res.park_time, 3.0);
+}
+
+TEST(SimulatorTest, TraceRecordingRespectsFlag) {
+  FixedController controller(vehicle::Command::full_stop());
+  world::Scenario sc = easy_scenario();
+  sc.time_limit = 1.0;
+  SimConfig cfg;
+  cfg.record_trace = false;
+  EXPECT_TRUE(Simulator(cfg).run(sc, controller, 1).trace.empty());
+  cfg.record_trace = true;
+  const EpisodeResult res = Simulator(cfg).run(sc, controller, 1);
+  EXPECT_EQ(res.trace.size(), res.frames);
+  // Frame times increase monotonically.
+  for (std::size_t i = 1; i < res.trace.size(); ++i)
+    EXPECT_GT(res.trace[i].t, res.trace[i - 1].t);
+}
+
+TEST(SimulatorTest, CoControllerParksOnEasyScenario) {
+  core::CoController controller(co::CoPlannerConfig{}, vehicle::VehicleParams{});
+  Simulator sim;
+  const EpisodeResult res = sim.run(easy_scenario(500), controller, 500);
+  EXPECT_EQ(res.outcome, Outcome::kSuccess) << to_string(res.outcome);
+  EXPECT_GT(res.park_time, 5.0);
+  EXPECT_GT(res.min_clearance, 0.0);
+}
+
+TEST(SimulatorTest, DeterministicForSameSeed) {
+  auto run_once = [] {
+    core::CoController controller(co::CoPlannerConfig{},
+                                  vehicle::VehicleParams{});
+    Simulator sim;
+    return sim.run(easy_scenario(501), controller, 7);
+  };
+  const EpisodeResult a = run_once();
+  const EpisodeResult b = run_once();
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_DOUBLE_EQ(a.park_time, b.park_time);
+  EXPECT_EQ(a.frames, b.frames);
+}
+
+TEST(SimulatorTest, OutcomeToString) {
+  EXPECT_STREQ(to_string(Outcome::kSuccess), "success");
+  EXPECT_STREQ(to_string(Outcome::kCollision), "collision");
+  EXPECT_STREQ(to_string(Outcome::kTimeout), "timeout");
+}
+
+// -------------------------------------------------------------- evaluator
+
+TEST(EvaluatorTest, AggregateCountsAddUp) {
+  EvalConfig cfg;
+  cfg.episodes = 6;
+  cfg.sim.dt = 0.05;
+  Evaluator ev(cfg);
+  world::ScenarioOptions opt;
+  opt.difficulty = world::Difficulty::kEasy;
+  opt.time_limit = 5.0;  // too short to park: all timeout or collide
+  const Aggregate agg = ev.evaluate(
+      [] {
+        return std::make_unique<FixedController>(vehicle::Command::full_stop());
+      },
+      opt, "fixed");
+  EXPECT_EQ(agg.episodes, 6);
+  EXPECT_EQ(agg.successes + agg.collisions + agg.timeouts, 6);
+  EXPECT_EQ(agg.timeouts, 6);
+  EXPECT_DOUBLE_EQ(agg.success_ratio(), 0.0);
+  EXPECT_EQ(agg.method, "fixed");
+  EXPECT_EQ(agg.level, "easy");
+}
+
+TEST(EvaluatorTest, DetailedResultsInSeedOrderAndThreadInvariant) {
+  world::ScenarioOptions opt;
+  opt.difficulty = world::Difficulty::kEasy;
+  opt.time_limit = 4.0;
+
+  EvalConfig cfg1;
+  cfg1.episodes = 8;
+  cfg1.num_threads = 1;
+  const auto r1 = Evaluator(cfg1).evaluate_detailed(
+      [] {
+        return std::make_unique<FixedController>(
+            vehicle::Command{1.0, 0.0, 0.3, false});
+      },
+      opt);
+
+  EvalConfig cfg4 = cfg1;
+  cfg4.num_threads = 4;
+  const auto r4 = Evaluator(cfg4).evaluate_detailed(
+      [] {
+        return std::make_unique<FixedController>(
+            vehicle::Command{1.0, 0.0, 0.3, false});
+      },
+      opt);
+
+  ASSERT_EQ(r1.size(), r4.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].outcome, r4[i].outcome) << i;
+    EXPECT_DOUBLE_EQ(r1[i].park_time, r4[i].park_time) << i;
+  }
+}
+
+// ----------------------------------------------------------------- expert
+
+TEST(ExpertTest, RecordsLabelledSamples) {
+  ExpertConfig cfg;
+  cfg.episodes = 1;
+  cfg.frame_stride = 4;
+  il::IlPolicyConfig policy_cfg;
+  policy_cfg.bev_size = 16;
+  ExpertRecorder recorder(cfg, policy_cfg);
+  ExpertStats stats;
+  const il::Dataset dataset = recorder.record(&stats);
+  EXPECT_EQ(stats.episodes_run, 1);
+  EXPECT_GT(dataset.size(), 50u);
+  EXPECT_EQ(stats.samples, dataset.size());
+  EXPECT_GT(stats.forward_samples, 0u);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    EXPECT_GE(dataset[i].label, 0);
+    EXPECT_LT(dataset[i].label, 15);
+    EXPECT_EQ(dataset[i].observation.channels(), il::kObservationChannels);
+    EXPECT_EQ(dataset[i].observation.size(), 16);
+  }
+}
+
+TEST(ExpertTest, DeterministicDataset) {
+  ExpertConfig cfg;
+  cfg.episodes = 2;
+  cfg.frame_stride = 8;
+  il::IlPolicyConfig policy_cfg;
+  policy_cfg.bev_size = 16;
+  const il::Dataset a = ExpertRecorder(cfg, policy_cfg).record();
+  const il::Dataset b = ExpertRecorder(cfg, policy_cfg).record();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    for (std::size_t j = 0; j < a[i].observation.num_values(); ++j)
+      ASSERT_FLOAT_EQ(a[i].observation.data()[j], b[i].observation.data()[j]);
+  }
+}
+
+TEST(ExpertTest, DatasetSaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "icoil_dataset_test.bin").string();
+  ExpertConfig cfg;
+  cfg.episodes = 1;
+  cfg.frame_stride = 10;
+  il::IlPolicyConfig policy_cfg;
+  policy_cfg.bev_size = 16;
+  const il::Dataset a = ExpertRecorder(cfg, policy_cfg).record();
+  ASSERT_TRUE(a.save(path));
+  il::Dataset b;
+  ASSERT_TRUE(b.load(path));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    for (std::size_t j = 0; j < a[i].observation.num_values(); ++j)
+      ASSERT_NEAR(a[i].observation.data()[j], b[i].observation.data()[j],
+                  1.5f / 255.0f);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ExpertTest, DatasetLoadRejectsGarbage) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "icoil_garbage.bin").string();
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "not a dataset";
+  }
+  il::Dataset d;
+  EXPECT_FALSE(d.load(path));
+  EXPECT_FALSE(d.load("/nonexistent/nope.bin"));
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------------ policy store
+
+TEST(PolicyStoreTest, TrainsAndCaches) {
+  const auto dir = std::filesystem::temp_directory_path() / "icoil_store_test";
+  std::filesystem::create_directories(dir);
+  PolicyStoreOptions opts;
+  opts.cache_path = (dir / "policy.bin").string();
+  opts.dataset_cache_path = (dir / "dataset.bin").string();
+  opts.verbose = false;
+  opts.expert.episodes = 1;
+  opts.expert.frame_stride = 6;
+  opts.train.epochs = 1;
+  opts.policy.bev_size = 16;
+  opts.policy.conv_channels[0] = 4;
+  opts.policy.conv_channels[1] = 4;
+  opts.policy.conv_channels[2] = 8;
+  opts.policy.fc_sizes[0] = 32;
+  opts.policy.fc_sizes[1] = 16;
+  opts.policy.fc_sizes[2] = 16;
+
+  std::filesystem::remove(opts.cache_path);
+  std::filesystem::remove(opts.dataset_cache_path);
+
+  const auto first = get_or_train_policy(opts);
+  ASSERT_NE(first, nullptr);
+  EXPECT_TRUE(std::filesystem::exists(opts.cache_path));
+  EXPECT_TRUE(std::filesystem::exists(opts.dataset_cache_path));
+
+  // Second call loads the cache and produces identical outputs.
+  const auto second = get_or_train_policy(opts);
+  sense::BevImage obs(il::kObservationChannels, 16);
+  obs.at(0, 3, 3) = 1.0f;
+  const auto ia = first->infer(obs);
+  const auto ib = second->infer(obs);
+  for (std::size_t i = 0; i < ia.probs.size(); ++i)
+    EXPECT_FLOAT_EQ(ia.probs[i], ib.probs[i]);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace icoil::sim
