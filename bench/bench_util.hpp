@@ -1,13 +1,17 @@
 #pragma once
 
-// Shared helpers for the figure/table harnesses: trained-policy acquisition
-// and episode-count overrides so quick runs are possible via environment
-// variables (ICOIL_EPISODES, ICOIL_EPOCHS, ICOIL_EXPERT_EPISODES).
+// Shared helpers for the figure/table harnesses: trained-policy acquisition,
+// episode-count overrides so quick runs are possible via environment
+// variables (ICOIL_EPISODES, ICOIL_EPOCHS, ICOIL_EXPERT_EPISODES), and the
+// BENCH_JSON hook that appends per-cell aggregates as JSON lines for the
+// perf-trajectory tooling.
 
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 
+#include "sim/evaluator.hpp"
 #include "sim/policy_store.hpp"
 
 namespace icoil::bench {
@@ -21,6 +25,35 @@ inline int episodes_override(int fallback) {
 /// The shared trained policy (cached on disk next to the working directory).
 inline std::unique_ptr<il::IlPolicy> shared_policy() {
   return sim::get_or_train_policy(sim::default_policy_options());
+}
+
+/// Append one per-cell aggregate as a JSON line to the file named by the
+/// BENCH_JSON environment variable; no-op when it is unset. Labels are
+/// harness-controlled identifiers (no escaping needed).
+inline void append_bench_json(const std::string& bench, const std::string& cell,
+                              const sim::Aggregate& agg) {
+  const char* path = std::getenv("BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream out(path, std::ios::app);
+  if (!out) return;
+  out << "{\"bench\":\"" << bench << "\",\"cell\":\"" << cell
+      << "\",\"method\":\"" << agg.method << "\",\"episodes\":" << agg.episodes
+      << ",\"successes\":" << agg.successes
+      << ",\"collisions\":" << agg.collisions
+      << ",\"timeouts\":" << agg.timeouts
+      << ",\"success_ratio\":" << agg.success_ratio()
+      << ",\"park_time_mean\":" << agg.park_time.mean()
+      << ",\"park_time_min\":" << agg.park_time.min()
+      << ",\"park_time_max\":" << agg.park_time.max()
+      << ",\"il_fraction_mean\":" << agg.il_fraction.mean()
+      << ",\"min_clearance_mean\":" << agg.min_clearance.mean() << "}\n";
+}
+
+/// JSON hook for a whole suite run.
+inline void append_bench_json(const std::string& bench,
+                              const std::vector<sim::SuiteCellResult>& results) {
+  for (const sim::SuiteCellResult& r : results)
+    append_bench_json(bench, r.cell.display_label(), r.aggregate);
 }
 
 }  // namespace icoil::bench

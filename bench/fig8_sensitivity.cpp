@@ -2,6 +2,9 @@
 // starting points as the number of obstacles grows. The paper's shape:
 // close starts are insensitive to obstacle count; remote and random starts
 // get slower (and noisier) with more obstacles.
+//
+// The 15 (start class x obstacle count) cells form one ScenarioSuite
+// evaluated in a single threaded fan-out through the suite API.
 
 #include <cstdio>
 #include <iostream>
@@ -19,29 +22,41 @@ int main() {
   eval_config.episodes = bench::episodes_override(15);
   sim::Evaluator evaluator(eval_config);
 
-  math::TextTable table({"start", "#obstacles", "time mean [s]",
-                         "time std [s]", "success"});
-
+  sim::ScenarioSuite suite;
+  suite.name = "fig8";
   for (auto start : {world::StartClass::kClose, world::StartClass::kRemote,
                      world::StartClass::kRandom}) {
     for (int k = 1; k <= 5; ++k) {
-      world::ScenarioOptions options;
-      options.difficulty = world::Difficulty::kNormal;
-      options.start_class = start;
-      options.num_obstacles_override = k;
-      const sim::Aggregate agg = evaluator.evaluate(
-          [&] {
-            return std::make_unique<core::IcoilController>(core::IcoilConfig{},
-                                                           *policy);
-          },
-          options, "iCOIL");
-      table.add_row({world::to_string(start), std::to_string(k),
-                     math::format_double(agg.park_time.mean(), 2),
-                     math::format_double(agg.park_time.stddev(), 2),
-                     math::format_double(100.0 * agg.success_ratio(), 0) + "%"});
-      std::fprintf(stderr, "[fig8] %s / %d obstacles done\n",
-                   world::to_string(start).c_str(), k);
+      sim::SuiteCell cell;
+      cell.difficulty = world::Difficulty::kNormal;
+      cell.start_class = start;
+      cell.num_obstacles_override = k;
+      cell.label = world::to_string(start) + "/" + std::to_string(k);
+      suite.add(cell);
     }
+  }
+
+  const auto results = evaluator.evaluate_suite(
+      [&] {
+        return std::make_unique<core::IcoilController>(core::IcoilConfig{},
+                                                       *policy);
+      },
+      suite, "iCOIL",
+      [](const sim::SuiteCell& cell, int completed, int total) {
+        std::fprintf(stderr, "[fig8] %s done (%d/%d)\n", cell.label.c_str(),
+                     completed, total);
+      });
+  bench::append_bench_json("fig8_sensitivity", results);
+
+  math::TextTable table({"start", "#obstacles", "time mean [s]",
+                         "time std [s]", "success"});
+  for (const sim::SuiteCellResult& r : results) {
+    const sim::Aggregate& agg = r.aggregate;
+    table.add_row({world::to_string(r.cell.start_class),
+                   std::to_string(r.cell.num_obstacles_override),
+                   math::format_double(agg.park_time.mean(), 2),
+                   math::format_double(agg.park_time.stddev(), 2),
+                   math::format_double(100.0 * agg.success_ratio(), 0) + "%"});
   }
 
   std::printf("\nFig. 8 — iCOIL parking time vs starting point and obstacle "

@@ -3,6 +3,10 @@
 // the easy / normal / hard task levels. We additionally report the pure-CO
 // policy as a reference row (not in the paper's table).
 //
+// The three levels form a ScenarioSuite evaluated per method in one
+// threaded fan-out; seeds match the historical per-level evaluation, so the
+// numbers are unchanged from the pre-suite harness.
+//
 // Paper's reported values for comparison:
 //   easy:   iCOIL 26.02/27.21/24.89 94%   | IL 23.65/25.16/22.52 72%
 //   normal: iCOIL 25.40/26.29/24.01 91%   | IL 25.81/26.54/23.77 36%
@@ -10,6 +14,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/co_controller.hpp"
@@ -26,45 +31,58 @@ int main() {
   eval_config.episodes = bench::episodes_override(50);
   sim::Evaluator evaluator(eval_config);
 
-  math::TextTable table({"level", "method", "avg [s]", "max [s]", "min [s]",
-                         "success", "episodes"});
-
+  sim::ScenarioSuite suite;
+  suite.name = "table2";
   for (auto level : {world::Difficulty::kEasy, world::Difficulty::kNormal,
                      world::Difficulty::kHard}) {
-    world::ScenarioOptions options;
-    options.difficulty = level;
-    options.start_class = world::StartClass::kRandom;
+    sim::SuiteCell cell;
+    cell.difficulty = level;
+    cell.start_class = world::StartClass::kRandom;
+    cell.label = world::to_string(level);
+    suite.add(cell);
+  }
 
-    struct Row {
-      const char* name;
-      core::ControllerFactory factory;
-    };
-    const Row rows[] = {
-        {"iCOIL",
-         [&] {
-           return std::make_unique<core::IcoilController>(core::IcoilConfig{},
-                                                          *policy);
-         }},
-        {"IL [2]",
-         [&] { return std::make_unique<core::IlController>(*policy); }},
-        {"CO (ref)",
-         [&] {
-           return std::make_unique<core::CoController>(co::CoPlannerConfig{},
-                                                       vehicle::VehicleParams{});
-         }},
-    };
+  struct Row {
+    const char* name;
+    core::ControllerFactory factory;
+  };
+  const Row rows[] = {
+      {"iCOIL",
+       [&] {
+         return std::make_unique<core::IcoilController>(core::IcoilConfig{},
+                                                        *policy);
+       }},
+      {"IL [2]",
+       [&] { return std::make_unique<core::IlController>(*policy); }},
+      {"CO (ref)",
+       [&] {
+         return std::make_unique<core::CoController>(co::CoPlannerConfig{},
+                                                     vehicle::VehicleParams{});
+       }},
+  };
 
-    for (const Row& row : rows) {
-      const sim::Aggregate agg =
-          evaluator.evaluate(row.factory, options, row.name);
-      table.add_row({world::to_string(level), row.name,
+  std::vector<std::vector<sim::SuiteCellResult>> per_method;
+  for (const Row& row : rows) {
+    per_method.push_back(evaluator.evaluate_suite(
+        row.factory, suite, row.name,
+        [&](const sim::SuiteCell& cell, int completed, int total) {
+          std::fprintf(stderr, "[table2] %s / %s done (%d/%d)\n",
+                       cell.label.c_str(), row.name, completed, total);
+        }));
+    bench::append_bench_json("table2_success", per_method.back());
+  }
+
+  math::TextTable table({"level", "method", "avg [s]", "max [s]", "min [s]",
+                         "success", "episodes"});
+  for (std::size_t cell = 0; cell < suite.cells.size(); ++cell) {
+    for (std::size_t m = 0; m < per_method.size(); ++m) {
+      const sim::Aggregate& agg = per_method[m][cell].aggregate;
+      table.add_row({suite.cells[cell].label, rows[m].name,
                      math::format_double(agg.park_time.mean(), 2),
                      math::format_double(agg.park_time.max(), 2),
                      math::format_double(agg.park_time.min(), 2),
                      math::format_double(100.0 * agg.success_ratio(), 0) + "%",
                      std::to_string(agg.episodes)});
-      std::fprintf(stderr, "[table2] %s / %s done\n",
-                   world::to_string(level).c_str(), row.name);
     }
   }
 

@@ -43,6 +43,15 @@ bool HybridAStar::pose_free(const geom::Pose2& pose,
   return true;
 }
 
+bool HybridAStar::pose_free(const geom::Pose2& pose,
+                            const geom::ObbSet& obstacles,
+                            const geom::Aabb& bounds) const {
+  const geom::Obb fp = model_.footprint(pose).inflated(config_.obstacle_margin);
+  for (const geom::Vec2& c : fp.corners())
+    if (!bounds.contains(c)) return false;
+  return !obstacles.any_overlap(fp);
+}
+
 RefPath HybridAStar::reeds_shepp_fallback(const geom::Pose2& start,
                                           const geom::Pose2& goal) const {
   const ReedsShepp rs(params_.min_turn_radius() * config_.rs_radius_factor);
@@ -64,6 +73,8 @@ std::optional<RefPath> HybridAStar::plan(const geom::Pose2& start,
                                          const geom::Aabb& bounds) const {
   const double radius = params_.min_turn_radius() * config_.rs_radius_factor;
   const ReedsShepp rs(radius);
+  // Broad-phase cache: every expansion probes the same obstacle set.
+  const geom::ObbSet obstacle_set(obstacles);
 
   auto heuristic = [&](const geom::Pose2& p) {
     const double euclid = geom::distance(p.position, goal.position);
@@ -84,7 +95,7 @@ std::optional<RefPath> HybridAStar::plan(const geom::Pose2& start,
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> open;
   std::unordered_map<long, double> best_g;
 
-  if (!pose_free(start, obstacles, bounds)) return std::nullopt;
+  if (!pose_free(start, obstacle_set, bounds)) return std::nullopt;
   nodes.push_back({start, 1, 0.0, 0.0, -1, {}});
   open.push({heuristic(start), 0});
   best_g[key_of(start, 1)] = 0.0;
@@ -116,7 +127,7 @@ std::optional<RefPath> HybridAStar::plan(const geom::Pose2& start,
         const auto samples = rs.sample(snapshot.pose, *path, config_.sample_step);
         bool free = true;
         for (const RsSample& s : samples) {
-          if (!pose_free(s.pose, obstacles, bounds)) {
+          if (!pose_free(s.pose, obstacle_set, bounds)) {
             free = false;
             break;
           }
@@ -141,7 +152,7 @@ std::optional<RefPath> HybridAStar::plan(const geom::Pose2& start,
           p.position.x += ds * std::cos(p.heading);
           p.position.y += ds * std::sin(p.heading);
           p.heading = geom::wrap_angle(p.heading + ds * yaw_rate);
-          if (!pose_free(p, obstacles, bounds)) {
+          if (!pose_free(p, obstacle_set, bounds)) {
             free = false;
             break;
           }

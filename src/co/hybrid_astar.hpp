@@ -5,6 +5,7 @@
 
 #include "co/refpath.hpp"
 #include "geom/aabb.hpp"
+#include "geom/broadphase.hpp"
 #include "geom/obb.hpp"
 #include "vehicle/kinematics.hpp"
 
@@ -54,6 +55,10 @@ class HybridAStar {
 
   /// True when the vehicle footprint is collision-free at `pose`.
   bool pose_free(const geom::Pose2& pose, const std::vector<geom::Obb>& obstacles,
+                 const geom::Aabb& bounds) const;
+  /// Broad-phase variant used by the search loop: `obstacles` carries
+  /// prebuilt AABBs so thousands of expansion probes prune cheaply.
+  bool pose_free(const geom::Pose2& pose, const geom::ObbSet& obstacles,
                  const geom::Aabb& bounds) const;
 
  private:

@@ -56,7 +56,7 @@ double Hsa::ratio() const {
 }
 
 Mode ModeSwitcher::update(double ratio) {
-  ++frames_since_switch_;
+  if (frames_since_switch_ < kNeverSwitched) ++frames_since_switch_;
   const Mode desired = ratio > config_.lambda ? Mode::kCo : Mode::kIl;
   if (desired != mode_ && frames_since_switch_ >= config_.guard_frames) {
     mode_ = desired;
@@ -67,7 +67,7 @@ Mode ModeSwitcher::update(double ratio) {
 
 void ModeSwitcher::reset(Mode initial) {
   mode_ = initial;
-  frames_since_switch_ = 1 << 20;
+  frames_since_switch_ = kNeverSwitched;
 }
 
 }  // namespace icoil::core

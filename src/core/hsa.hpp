@@ -16,6 +16,13 @@ const char* to_string(Mode m);
 /// at the most dangerous distance. The raw eq.-(8) value spans orders of
 /// magnitude (power 3.5), so normalizing keeps lambda O(1) across levels;
 /// the decision rule is unchanged (monotone rescaling of the threshold).
+///
+/// Obstacle-count scaling: eq. (8) sums e^{-|D0 - D_k|} over every detected
+/// obstacle, so with K obstacles pinned at D0 the normalized complexity is
+/// ((Na + K) / (Na + 1))^{3.5} — finite, strictly monotone in K, and
+/// independent of the window size. Crowded generators (K >= 8) therefore
+/// push the ratio toward IL smoothly rather than saturating or overflowing;
+/// the generator-suite tests pin this behavior.
 struct HsaConfig {
   int window = 20;        ///< T, frames averaged by eqs. (7)-(8)
   double lambda = 0.2;    ///< switching threshold of eq. (1)
@@ -67,6 +74,12 @@ class Hsa {
 /// switch to smooth transitions.
 class ModeSwitcher {
  public:
+  /// Counter value meaning "no switch has happened yet": any sane
+  /// guard_frames is far below it, so the first decision is never held
+  /// back. The counter saturates here instead of incrementing forever, so
+  /// arbitrarily long episodes cannot overflow it.
+  static constexpr int kNeverSwitched = 1 << 20;
+
   explicit ModeSwitcher(const HsaConfig& config, Mode initial = Mode::kCo)
       : config_(config), mode_(initial) {}
 
@@ -81,7 +94,7 @@ class ModeSwitcher {
  private:
   HsaConfig config_;
   Mode mode_;
-  int frames_since_switch_ = 1 << 20;  // no guard on the first decision
+  int frames_since_switch_ = kNeverSwitched;
 };
 
 }  // namespace icoil::core

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "geom/broadphase.hpp"
+
 namespace icoil::core {
 
 bool SafetyMonitor::rollout_collides(const world::World& world,
@@ -14,9 +16,16 @@ bool SafetyMonitor::rollout_collides(const world::World& world,
     s = model_.step(s, cmd, config_.dt);
     const double t = world.time() + i * config_.dt;
     const geom::Obb fp = model_.footprint(s).inflated(config_.margin);
-    // Obstacles move during the rollout: check against predicted footprints.
-    for (const world::Obstacle& o : world.scenario().obstacles)
-      if (geom::overlaps(fp, o.footprint_at(t))) return true;
+    // Statics hold still over the rollout: reuse the world's broad-phase
+    // cache instead of rebuilding it every control step.
+    if (world.static_obstacle_set().any_overlap(fp)) return true;
+    // Dynamic obstacles move during the rollout: check predicted footprints.
+    const geom::Aabb fp_bb = fp.aabb();
+    for (std::size_t idx : world.dynamic_obstacle_indices()) {
+      const geom::Obb box = world.scenario().obstacles[idx].footprint_at(t);
+      if (!fp_bb.overlaps(box.aabb())) continue;
+      if (geom::overlaps(fp, box)) return true;
+    }
     for (const geom::Vec2& c : fp.corners())
       if (!world.map().bounds.contains(c)) return true;
   }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 
 #include "geom/vec2.hpp"
 
@@ -43,5 +44,14 @@ struct Aabb {
     return min.x <= o.max.x && o.min.x <= max.x && min.y <= o.max.y && o.min.y <= max.y;
   }
 };
+
+/// Minimum distance between two boxes (0 when overlapping). A cheap lower
+/// bound on the distance between any shapes the boxes enclose — the pruning
+/// predicate of the broad-phase collision filter.
+inline double aabb_distance(const Aabb& a, const Aabb& b) {
+  const double dx = std::max({0.0, a.min.x - b.max.x, b.min.x - a.max.x});
+  const double dy = std::max({0.0, a.min.y - b.max.y, b.min.y - a.max.y});
+  return std::sqrt(dx * dx + dy * dy);
+}
 
 }  // namespace icoil::geom

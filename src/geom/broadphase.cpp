@@ -1,0 +1,42 @@
+#include "geom/broadphase.hpp"
+
+namespace icoil::geom {
+
+void ObbSet::build(const std::vector<Obb>& boxes) {
+  boxes_ = boxes;
+  aabbs_.clear();
+  aabbs_.reserve(boxes_.size());
+  for (const Obb& b : boxes_) aabbs_.push_back(b.aabb());
+}
+
+void ObbSet::clear() {
+  boxes_.clear();
+  aabbs_.clear();
+}
+
+void ObbSet::push(const Obb& box) {
+  boxes_.push_back(box);
+  aabbs_.push_back(box.aabb());
+}
+
+bool ObbSet::any_overlap(const Obb& query) const {
+  const Aabb qbb = query.aabb();
+  for (std::size_t i = 0; i < boxes_.size(); ++i) {
+    if (!qbb.overlaps(aabbs_[i])) continue;
+    if (overlaps(query, boxes_[i])) return true;
+  }
+  return false;
+}
+
+double ObbSet::min_distance(const Obb& query, double cutoff) const {
+  const Aabb qbb = query.aabb();
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < boxes_.size(); ++i) {
+    const double bound = aabb_distance(qbb, aabbs_[i]);
+    if (bound >= best || bound >= cutoff) continue;
+    best = std::min(best, obb_distance(query, boxes_[i]));
+  }
+  return best;
+}
+
+}  // namespace icoil::geom

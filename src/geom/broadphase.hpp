@@ -1,0 +1,48 @@
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/obb.hpp"
+
+namespace icoil::geom {
+
+/// Broad-phase accelerated set of oriented boxes: caches each box's AABB at
+/// build time so overlap and distance queries can prune with cheap
+/// axis-aligned tests before running the SAT / closest-point narrow phase.
+/// This is the collision front-end for the simulator world, the hybrid-A*
+/// planner and the safety monitor, where crowded scenarios put tens of
+/// obstacles in front of every footprint check.
+class ObbSet {
+ public:
+  ObbSet() = default;
+  explicit ObbSet(const std::vector<Obb>& boxes) { build(boxes); }
+
+  /// Replace the contents with `boxes` (AABBs recomputed).
+  void build(const std::vector<Obb>& boxes);
+  void clear();
+  /// Append one box.
+  void push(const Obb& box);
+
+  std::size_t size() const { return boxes_.size(); }
+  bool empty() const { return boxes_.empty(); }
+  const std::vector<Obb>& boxes() const { return boxes_; }
+
+  /// True when `query` overlaps any box in the set (AABB prefilter, then
+  /// separating-axis narrow phase).
+  bool any_overlap(const Obb& query) const;
+
+  /// Minimum distance from `query` to the set; `cutoff` (and every distance
+  /// found so far) prunes members whose AABB lower bound cannot improve on
+  /// it. Returns +inf for an empty set or when nothing beats `cutoff`.
+  double min_distance(
+      const Obb& query,
+      double cutoff = std::numeric_limits<double>::infinity()) const;
+
+ private:
+  std::vector<Obb> boxes_;
+  std::vector<Aabb> aabbs_;
+};
+
+}  // namespace icoil::geom

@@ -2,45 +2,26 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <thread>
 
 namespace icoil::sim {
 
-std::vector<EpisodeResult> Evaluator::evaluate_detailed(
-    const core::ControllerFactory& factory,
-    const world::ScenarioOptions& options) const {
-  const int n = config_.episodes;
-  std::vector<EpisodeResult> results(static_cast<std::size_t>(n));
+namespace {
 
+int worker_count(int requested, int jobs) {
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
-  const int threads = std::max(
-      1, std::min(config_.num_threads > 0 ? config_.num_threads : hw,
-                  std::min(16, n)));
-
-  std::atomic<int> next{0};
-  auto worker = [&] {
-    auto controller = factory();
-    Simulator sim(config_.sim);
-    for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-      const std::uint64_t seed = config_.base_seed + static_cast<std::uint64_t>(i);
-      const world::Scenario scenario = world::make_scenario(options, seed);
-      results[static_cast<std::size_t>(i)] = sim.run(scenario, *controller, seed);
-    }
-  };
-
-  std::vector<std::thread> pool;
-  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
-  return results;
+  return std::max(1, std::min(requested > 0 ? requested : hw,
+                              std::min(16, jobs)));
 }
 
-Aggregate Evaluator::evaluate(const core::ControllerFactory& factory,
-                              const world::ScenarioOptions& options,
-                              const std::string& method_label) const {
+Aggregate aggregate_episodes(const std::vector<EpisodeResult>& results,
+                             const std::string& method,
+                             const std::string& level) {
   Aggregate agg;
-  agg.method = method_label;
-  agg.level = world::to_string(options.difficulty);
-  for (const EpisodeResult& r : evaluate_detailed(factory, options)) {
+  agg.method = method;
+  agg.level = level;
+  for (const EpisodeResult& r : results) {
     ++agg.episodes;
     switch (r.outcome) {
       case Outcome::kSuccess:
@@ -58,6 +39,99 @@ Aggregate Evaluator::evaluate(const core::ControllerFactory& factory,
     if (r.min_clearance < 1e8) agg.min_clearance.add(r.min_clearance);
   }
   return agg;
+}
+
+}  // namespace
+
+std::vector<EpisodeResult> Evaluator::evaluate_detailed(
+    const core::ControllerFactory& factory,
+    const world::ScenarioOptions& options) const {
+  const int n = config_.episodes;
+  std::vector<EpisodeResult> results(static_cast<std::size_t>(n));
+
+  std::atomic<int> next{0};
+  auto worker = [&] {
+    auto controller = factory();
+    Simulator sim(config_.sim);
+    for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      const std::uint64_t seed = config_.base_seed + static_cast<std::uint64_t>(i);
+      const world::Scenario scenario = world::make_scenario(options, seed);
+      results[static_cast<std::size_t>(i)] = sim.run(scenario, *controller, seed);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  const int threads = worker_count(config_.num_threads, n);
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  return results;
+}
+
+Aggregate Evaluator::evaluate(const core::ControllerFactory& factory,
+                              const world::ScenarioOptions& options,
+                              const std::string& method_label) const {
+  return aggregate_episodes(evaluate_detailed(factory, options), method_label,
+                            world::to_string(options.difficulty));
+}
+
+std::vector<SuiteCellResult> Evaluator::evaluate_suite(
+    const core::ControllerFactory& factory, const ScenarioSuite& suite,
+    const std::string& method_label, const SuiteProgress& progress) const {
+  const int per_cell = config_.episodes;
+  const int num_cells = static_cast<int>(suite.cells.size());
+  const int total = per_cell * num_cells;
+
+  // Expand every cell's options once up front; workers only read them.
+  std::vector<world::ScenarioOptions> options;
+  options.reserve(suite.cells.size());
+  for (const SuiteCell& cell : suite.cells) options.push_back(cell.options());
+
+  std::vector<std::vector<EpisodeResult>> results(
+      suite.cells.size(),
+      std::vector<EpisodeResult>(static_cast<std::size_t>(per_cell)));
+
+  // One shared (cell, episode) job queue: a slow cell (crowded lot, long
+  // time limit) never serializes the rest of the suite, and the per-episode
+  // seeds match what a per-cell evaluate() would use.
+  std::atomic<int> next{0};
+  std::vector<std::atomic<int>> episodes_left(suite.cells.size());
+  for (auto& e : episodes_left) e.store(per_cell);
+  std::atomic<int> cells_done{0};
+  std::mutex progress_mutex;
+  auto worker = [&] {
+    auto controller = factory();
+    Simulator sim(config_.sim);
+    for (int j = next.fetch_add(1); j < total; j = next.fetch_add(1)) {
+      const int cell = j / per_cell;
+      const int episode = j % per_cell;
+      const std::uint64_t seed =
+          config_.base_seed + static_cast<std::uint64_t>(episode);
+      const world::Scenario scenario =
+          world::make_scenario(options[static_cast<std::size_t>(cell)], seed);
+      results[static_cast<std::size_t>(cell)][static_cast<std::size_t>(episode)] =
+          sim.run(scenario, *controller, seed);
+      if (episodes_left[static_cast<std::size_t>(cell)].fetch_sub(1) == 1 &&
+          progress) {
+        const int done = cells_done.fetch_add(1) + 1;
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        progress(suite.cells[static_cast<std::size_t>(cell)], done, num_cells);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  const int threads = worker_count(config_.num_threads, total);
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+
+  std::vector<SuiteCellResult> out;
+  out.reserve(suite.cells.size());
+  for (std::size_t c = 0; c < suite.cells.size(); ++c) {
+    out.push_back({suite.cells[c],
+                   aggregate_episodes(results[c], method_label,
+                                      suite.cells[c].display_label())});
+  }
+  return out;
 }
 
 }  // namespace icoil::sim

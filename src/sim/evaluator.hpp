@@ -1,11 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "mathkit/stats.hpp"
 #include "sim/simulator.hpp"
+#include "sim/suite.hpp"
 #include "world/scenario.hpp"
 
 namespace icoil::sim {
@@ -25,6 +27,12 @@ struct Aggregate {
   double success_ratio() const {
     return episodes > 0 ? static_cast<double>(successes) / episodes : 0.0;
   }
+};
+
+/// One suite cell's outcome: the cell spec plus its episode aggregate.
+struct SuiteCellResult {
+  SuiteCell cell;
+  Aggregate aggregate;
 };
 
 /// Batch evaluation settings.
@@ -52,6 +60,21 @@ class Evaluator {
   std::vector<EpisodeResult> evaluate_detailed(
       const core::ControllerFactory& factory,
       const world::ScenarioOptions& options) const;
+
+  /// Invoked (serialized, but from a worker thread) as each suite cell
+  /// finishes its last episode: (cell, cells completed so far, cell count).
+  using SuiteProgress =
+      std::function<void(const SuiteCell& cell, int completed, int total)>;
+
+  /// Batch-evaluates `episodes` seeds of EVERY suite cell in one threaded
+  /// fan-out — workers pull (cell, episode) jobs from a shared queue, so a
+  /// slow cell never serializes the others. Per-cell aggregates come back
+  /// in suite order; episode seeds match a per-cell evaluate() call, so
+  /// results are identical to evaluating each cell separately.
+  std::vector<SuiteCellResult> evaluate_suite(
+      const core::ControllerFactory& factory, const ScenarioSuite& suite,
+      const std::string& method_label,
+      const SuiteProgress& progress = nullptr) const;
 
  private:
   EvalConfig config_;

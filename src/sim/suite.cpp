@@ -1,0 +1,41 @@
+#include "sim/suite.hpp"
+
+namespace icoil::sim {
+
+world::ScenarioOptions SuiteCell::options() const {
+  world::ScenarioOptions opt;
+  opt.generator = generator;
+  opt.params = params;
+  opt.difficulty = difficulty;
+  opt.start_class = start_class;
+  opt.num_obstacles_override = num_obstacles_override;
+  opt.time_limit = time_limit;
+  return opt;
+}
+
+std::string SuiteCell::display_label() const {
+  if (!label.empty()) return label;
+  return generator + "/" + world::to_string(difficulty) + "/" +
+         world::to_string(start_class);
+}
+
+ScenarioSuite ScenarioSuite::cross(
+    const std::vector<std::string>& generators,
+    const std::vector<world::Difficulty>& difficulties,
+    const std::vector<world::StartClass>& starts) {
+  ScenarioSuite suite;
+  for (const std::string& g : generators) {
+    for (world::Difficulty d : difficulties) {
+      for (world::StartClass s : starts) {
+        SuiteCell cell;
+        cell.generator = g;
+        cell.difficulty = d;
+        cell.start_class = s;
+        suite.cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return suite;
+}
+
+}  // namespace icoil::sim

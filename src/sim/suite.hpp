@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "world/scenario.hpp"
+
+namespace icoil::sim {
+
+/// One evaluation cell: a scenario family pinned to a difficulty, start
+/// class and generator parameters. A suite run evaluates `episodes` seeds
+/// of every cell (see EvalConfig), so a cell corresponds to one row/point
+/// of a results table or sensitivity sweep.
+struct SuiteCell {
+  std::string generator = "canonical";
+  world::Difficulty difficulty = world::Difficulty::kEasy;
+  world::StartClass start_class = world::StartClass::kRandom;
+  world::GeneratorParams params;
+  int num_obstacles_override = -1;  ///< -1 = level default
+  double time_limit = 60.0;
+  std::string label;  ///< display label; empty -> "generator/difficulty/start"
+
+  /// The ScenarioOptions this cell expands to.
+  world::ScenarioOptions options() const;
+  /// `label` when set, otherwise "generator/difficulty/start".
+  std::string display_label() const;
+};
+
+/// An ordered list of cells batch-evaluated in one threaded fan-out.
+struct ScenarioSuite {
+  std::string name = "suite";
+  std::vector<SuiteCell> cells;
+
+  ScenarioSuite& add(SuiteCell cell) {
+    cells.push_back(std::move(cell));
+    return *this;
+  }
+
+  /// Cartesian-product helper: one cell per (generator, difficulty, start).
+  static ScenarioSuite cross(const std::vector<std::string>& generators,
+                             const std::vector<world::Difficulty>& difficulties,
+                             const std::vector<world::StartClass>& starts);
+};
+
+}  // namespace icoil::sim

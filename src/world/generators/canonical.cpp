@@ -1,0 +1,50 @@
+// The paper's Fig-4 parking lot: three static obstacles (parked cars
+// flanking the goal bay + an aisle pillar) and two dynamic obstacles (a
+// patrolling vehicle and a crossing pedestrian). This generator is the
+// behavior-preserving port of the original hard-coded scenario builder: it
+// never consumes the scenario RNG, so scenarios built through the registry
+// are bit-for-bit identical to the pre-registry code.
+
+#include "world/generators/common.hpp"
+#include "world/generators/generator.hpp"
+
+namespace icoil::world {
+
+std::vector<Obstacle> canonical_obstacles() {
+  std::vector<Obstacle> obs;
+  const ParkingLotMap map = ParkingLotMap::standard();
+  int id = 0;
+
+  // Statics 1 & 2: cars parked in the bays flanking the goal bay.
+  append_flanking_cars(map, obs, id);
+  // Static 3: a pillar/crate on the aisle side, forcing a detour.
+  obs.push_back({id++, "aisle_pillar", geom::Obb{{14.0, 17.0}, 0.0, 1.0, 1.0}, {}});
+  // Dynamics: a vehicle patrolling the aisle above the bay row and a
+  // pedestrian crossing between the bay row and the aisle.
+  obs.push_back(make_patrol_vehicle(id++));
+  obs.push_back(make_crossing_pedestrian(id++));
+  return obs;
+}
+
+namespace {
+
+class CanonicalGenerator final : public ScenarioGenerator {
+ public:
+  std::string name() const override { return "canonical"; }
+  std::string description() const override {
+    return "The paper's Fig-4 lot: 2 parked cars + aisle pillar, patrol "
+           "vehicle and crossing pedestrian (no parameters)";
+  }
+  GeneratorOutput build(const GeneratorParams&, Difficulty,
+                        math::Rng&) const override {
+    return {ParkingLotMap::standard(), canonical_obstacles()};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ScenarioGenerator> make_canonical_generator() {
+  return std::make_unique<CanonicalGenerator>();
+}
+
+}  // namespace icoil::world

@@ -1,0 +1,41 @@
+#include "world/generators/common.hpp"
+
+#include "geom/angles.hpp"
+
+namespace icoil::world {
+
+Obstacle make_patrol_vehicle(int id) {
+  Obstacle patrol;
+  patrol.id = id;
+  patrol.name = "patrol_vehicle";
+  patrol.shape = geom::Obb{{0.0, 0.0}, 0.0, 2.1, 0.9};
+  patrol.motion.waypoints = {{10.0, 19.5}, {30.0, 19.5}};
+  patrol.motion.speed = 1.2;
+  return patrol;
+}
+
+Obstacle make_crossing_pedestrian(int id) {
+  Obstacle ped;
+  ped.id = id;
+  ped.name = "pedestrian";
+  ped.shape = geom::Obb{{0.0, 0.0}, 0.0, 0.35, 0.35};
+  ped.motion.waypoints = {{26.0, 9.0}, {26.0, 16.0}};
+  ped.motion.speed = 0.7;
+  ped.motion.phase = 3.0;
+  return ped;
+}
+
+void append_flanking_cars(const ParkingLotMap& map,
+                          std::vector<Obstacle>& out, int& next_id) {
+  const double bay_heading = geom::kPi / 2.0;
+  const geom::Obb& left_bay = map.bays[map.goal_bay_index - 1];
+  const geom::Obb& right_bay = map.bays[map.goal_bay_index + 1];
+  out.push_back({next_id++, "parked_car_left",
+                 geom::Obb{{left_bay.center.x, 2.9}, bay_heading, 2.1, 0.9},
+                 {}});
+  out.push_back({next_id++, "parked_car_right",
+                 geom::Obb{{right_bay.center.x, 2.9}, bay_heading, 2.1, 0.9},
+                 {}});
+}
+
+}  // namespace icoil::world

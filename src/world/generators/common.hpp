@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "world/map.hpp"
+#include "world/obstacle.hpp"
+
+namespace icoil::world {
+
+/// Shared obstacle builders for the built-in generator family. The values
+/// are the canonical (paper Fig-4) definitions; generators that want a
+/// variant build their own rather than parameterizing these, so the
+/// canonical roster stays golden-test stable.
+
+/// The vehicle patrolling the aisle above the bay row.
+Obstacle make_patrol_vehicle(int id);
+
+/// The pedestrian crossing between the bay row and the aisle.
+Obstacle make_crossing_pedestrian(int id);
+
+/// Append cars parked in the two bays flanking the goal bay; `next_id` is
+/// advanced past the ids consumed.
+void append_flanking_cars(const ParkingLotMap& map,
+                          std::vector<Obstacle>& out, int& next_id);
+
+}  // namespace icoil::world

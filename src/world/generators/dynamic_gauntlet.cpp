@@ -1,0 +1,88 @@
+// Dynamic gauntlet: the standard lot with a configurable fleet of moving
+// obstacles — aisle patrols, rectangular waypoint loops and crossing
+// pedestrians — between the spawn region and the goal bay. Static content
+// is just the two cars flanking the goal, so the difficulty comes almost
+// entirely from timing gaps between movers. Recognized parameters:
+//   num_movers    number of dynamic obstacles, 1..8 (default 4)
+//   speed_scale   multiplier on every mover's speed (default 1.0)
+
+#include <algorithm>
+
+#include "geom/angles.hpp"
+#include "world/generators/generator.hpp"
+
+namespace icoil::world {
+namespace {
+
+class DynamicGauntletGenerator final : public ScenarioGenerator {
+ public:
+  std::string name() const override { return "dynamic_gauntlet"; }
+  std::string description() const override {
+    return "Standard lot with a fleet of patrols, waypoint loops and "
+           "crossing pedestrians (num_movers 1..8, speed_scale)";
+  }
+
+  GeneratorOutput build(const GeneratorParams& params, Difficulty,
+                        math::Rng&) const override {
+    GeneratorOutput out;
+    out.map = ParkingLotMap::standard();
+    const int movers = std::clamp(params.get_int("num_movers", 4), 1, 8);
+    const double speed_scale = std::max(0.1, params.get("speed_scale", 1.0));
+
+    const double bay_heading = geom::kPi / 2.0;
+    int id = 0;
+    const geom::Obb& left_bay = out.map.bays[out.map.goal_bay_index - 1];
+    const geom::Obb& right_bay = out.map.bays[out.map.goal_bay_index + 1];
+    out.obstacles.push_back(
+        {id++, "parked_car_left",
+         geom::Obb{{left_bay.center.x, 2.9}, bay_heading, 2.1, 0.9}, {}});
+    out.obstacles.push_back(
+        {id++, "parked_car_right",
+         geom::Obb{{right_bay.center.x, 2.9}, bay_heading, 2.1, 0.9}, {}});
+
+    // Fixed mover templates (crossing lanes sit beyond the spawn region so
+    // the start-pose search stays cheap); the shared phase jitter in
+    // make_scenario desynchronizes them per seed.
+    struct Template {
+      const char* name;
+      double half_length, half_width;
+      std::vector<geom::Vec2> waypoints;
+      double speed, phase;
+    };
+    const Template templates[] = {
+        {"aisle_patrol", 2.1, 0.9, {{6.0, 19.5}, {34.0, 19.5}}, 1.3, 0.0},
+        {"loop_vehicle", 2.1, 0.9,
+         {{8.0, 16.0}, {32.0, 16.0}, {32.0, 24.0}, {8.0, 24.0}, {8.0, 16.0}},
+         1.1, 18.0},
+        {"crossing_ped_a", 0.35, 0.35, {{27.0, 8.0}, {27.0, 16.5}}, 0.8, 2.0},
+        {"crossing_ped_b", 0.35, 0.35, {{31.5, 17.0}, {31.5, 7.0}}, 0.6, 0.0},
+        {"upper_patrol", 2.1, 0.9, {{4.0, 22.5}, {36.0, 22.5}}, 1.6, 10.0},
+        {"crossing_ped_c", 0.35, 0.35, {{25.0, 16.0}, {25.0, 8.5}}, 0.9, 4.0},
+        {"wide_loop", 1.2, 0.6,
+         {{12.0, 15.5}, {28.0, 15.5}, {28.0, 26.0}, {12.0, 26.0}, {12.0, 15.5}},
+         1.0, 30.0},
+        {"top_patrol", 2.1, 0.9, {{6.0, 26.5}, {34.0, 26.5}}, 1.8, 5.0},
+    };
+
+    for (int i = 0; i < movers; ++i) {
+      const Template& t = templates[i];
+      Obstacle mover;
+      mover.id = id++;
+      mover.name = t.name;
+      mover.shape = geom::Obb{{0.0, 0.0}, 0.0, t.half_length, t.half_width};
+      mover.motion.waypoints = t.waypoints;
+      mover.motion.speed = t.speed * speed_scale;
+      mover.motion.phase = t.phase;
+      out.obstacles.push_back(mover);
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ScenarioGenerator> make_dynamic_gauntlet_generator() {
+  return std::make_unique<DynamicGauntletGenerator>();
+}
+
+}  // namespace icoil::world

@@ -1,0 +1,16 @@
+#include "world/generators/generator.hpp"
+
+namespace icoil::world {
+
+int ScenarioGenerator::default_count(Difficulty difficulty,
+                                     const std::vector<Obstacle>& roster) const {
+  if (difficulty != Difficulty::kEasy) return static_cast<int>(roster.size());
+  int statics = 0;
+  for (const Obstacle& o : roster) {
+    if (o.dynamic()) break;
+    ++statics;
+  }
+  return statics;
+}
+
+}  // namespace icoil::world

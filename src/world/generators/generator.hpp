@@ -1,0 +1,59 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mathkit/rng.hpp"
+#include "world/generators/params.hpp"
+#include "world/map.hpp"
+#include "world/obstacle.hpp"
+#include "world/scenario.hpp"
+
+namespace icoil::world {
+
+/// Static geometry plus the full obstacle roster produced by a generator,
+/// before the shared scenario machinery applies difficulty truncation,
+/// dynamic phase jitter, hard-level noise and the start-pose search.
+struct GeneratorOutput {
+  ParkingLotMap map;
+  std::vector<Obstacle> obstacles;  ///< full roster: static first, then dynamic
+};
+
+/// One parametric scenario family. Implementations build the map and the
+/// obstacle roster; `make_scenario` handles everything common to every
+/// family (difficulty truncation, dynamic phase jitter, hard-level sensor
+/// noise and the collision-free start-pose search).
+///
+/// Generators must consume `rng` only for randomized layout decisions so
+/// fixed layouts stay bit-stable across runs — the canonical generator
+/// never touches it, which keeps the paper's scenarios reproducible
+/// byte-for-byte against the pre-registry code.
+class ScenarioGenerator {
+ public:
+  virtual ~ScenarioGenerator() = default;
+
+  /// Registry key, e.g. "canonical".
+  virtual std::string name() const = 0;
+  /// One-line human description, including recognized parameter keys.
+  virtual std::string description() const = 0;
+
+  /// Build the map and full obstacle roster for one scenario instance.
+  virtual GeneratorOutput build(const GeneratorParams& params,
+                                Difficulty difficulty, math::Rng& rng) const = 0;
+
+  /// Default roster size at a difficulty when the caller gives no explicit
+  /// override: easy keeps the leading static block, normal/hard keep all.
+  virtual int default_count(Difficulty difficulty,
+                            const std::vector<Obstacle>& roster) const;
+};
+
+/// Factories for the built-in generator family (registered automatically by
+/// the GeneratorRegistry on first access).
+std::unique_ptr<ScenarioGenerator> make_canonical_generator();
+std::unique_ptr<ScenarioGenerator> make_perpendicular_generator();
+std::unique_ptr<ScenarioGenerator> make_parallel_street_generator();
+std::unique_ptr<ScenarioGenerator> make_crowded_lot_generator();
+std::unique_ptr<ScenarioGenerator> make_dynamic_gauntlet_generator();
+
+}  // namespace icoil::world

@@ -1,0 +1,91 @@
+// Parallel street parking: a narrow 40 x 14 m street with a row of kerbside
+// bays (heading 0) along the bottom edge. The ego must parallel-park into
+// the middle gap between parked cars; normal/hard add an oncoming vehicle
+// in the traffic lane and a pedestrian stepping off the kerb. Recognized
+// parameters:
+//   parked   number of occupied neighbour bays, 0..4 (default 4)
+
+#include <algorithm>
+
+#include "world/generators/generator.hpp"
+
+namespace icoil::world {
+namespace {
+
+class ParallelStreetGenerator final : public ScenarioGenerator {
+ public:
+  std::string name() const override { return "parallel_street"; }
+  std::string description() const override {
+    return "Kerbside parallel parking on a narrow street (parked, "
+           "default 4) + oncoming vehicle and pedestrian";
+  }
+
+  GeneratorOutput build(const GeneratorParams& params, Difficulty,
+                        math::Rng&) const override {
+    GeneratorOutput out;
+    ParkingLotMap& m = out.map;
+    m.bounds = {{0.0, 0.0}, {40.0, 14.0}};
+
+    // Five kerbside bays along the bottom edge: 6.5 m long, 2.5 m deep,
+    // opening toward the traffic lane (+y). Local x-axis along the kerb.
+    constexpr double kBayLength = 6.5;
+    constexpr double kBayDepth = 2.5;
+    for (int i = 0; i < 5; ++i) {
+      const double cx = 6.0 + 7.0 * i;
+      m.bays.push_back(
+          geom::Obb{{cx, kBayDepth * 0.5}, 0.0, kBayLength * 0.5, kBayDepth * 0.5});
+    }
+    m.goal_bay_index = 2;  // cx = 20
+
+    // Parked pose: nose along +x, rear axle 1.3 m behind the bay centre
+    // (the footprint centre offset), hugging the kerb.
+    const geom::Vec2 bay_c = m.bays[m.goal_bay_index].center;
+    m.goal_pose = {bay_c.x - 1.3, bay_c.y, 0.0};
+
+    m.spawn_close = {{10.0, 5.0}, {16.0, 8.0}};
+    m.spawn_remote = {{2.0, 5.0}, {6.0, 8.0}};
+    m.spawn_random = {{2.0, 5.0}, {16.0, 8.0}};
+
+    // Parked cars in the neighbour bays, nearest gap edges first so a small
+    // `parked` still leaves a tight pocket around the goal.
+    const int parked = std::clamp(params.get_int("parked", 4), 0, 4);
+    const std::size_t order[4] = {1, 3, 0, 4};
+    int id = 0;
+    for (int i = 0; i < parked; ++i) {
+      const geom::Obb& bay = m.bays[order[i]];
+      Obstacle car;
+      car.id = id++;
+      car.name = "street_car_bay" + std::to_string(order[i]);
+      car.shape = geom::Obb{{bay.center.x, bay.center.y}, 0.0, 2.1, 0.9};
+      out.obstacles.push_back(car);
+    }
+
+    // Dynamic 1: oncoming traffic in the far lane.
+    Obstacle oncoming;
+    oncoming.id = id++;
+    oncoming.name = "oncoming_vehicle";
+    oncoming.shape = geom::Obb{{0.0, 0.0}, 0.0, 2.1, 0.9};
+    oncoming.motion.waypoints = {{38.0, 11.0}, {2.0, 11.0}};
+    oncoming.motion.speed = 1.6;
+    out.obstacles.push_back(oncoming);
+
+    // Dynamic 2: a pedestrian stepping between kerb and far pavement,
+    // beyond the spawn region so starts stay clear.
+    Obstacle ped;
+    ped.id = id++;
+    ped.name = "kerb_pedestrian";
+    ped.shape = geom::Obb{{0.0, 0.0}, 0.0, 0.35, 0.35};
+    ped.motion.waypoints = {{25.0, 3.5}, {25.0, 11.5}};
+    ped.motion.speed = 0.7;
+    out.obstacles.push_back(ped);
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ScenarioGenerator> make_parallel_street_generator() {
+  return std::make_unique<ParallelStreetGenerator>();
+}
+
+}  // namespace icoil::world

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cmath>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace icoil::world {
+
+/// Free-form numeric parameters for a scenario generator (obstacle density,
+/// mover counts, speed scales, ...). A flat string -> double map keeps the
+/// registry API uniform across generator families; each generator documents
+/// its keys and falls back to sensible defaults for missing ones.
+class GeneratorParams {
+ public:
+  GeneratorParams() = default;
+  GeneratorParams(
+      std::initializer_list<std::pair<const std::string, double>> init)
+      : values_(init) {}
+
+  double get(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? it->second : fallback;
+  }
+  int get_int(const std::string& key, int fallback) const {
+    return static_cast<int>(
+        std::lround(get(key, static_cast<double>(fallback))));
+  }
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+  void set(const std::string& key, double value) { values_[key] = value; }
+
+  bool empty() const { return values_.empty(); }
+  const std::map<std::string, double>& values() const { return values_; }
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+}  // namespace icoil::world

@@ -1,0 +1,55 @@
+// Perpendicular-bay variant of the standard lot: every non-goal bay is
+// occupied with probability `occupancy`, each parked car slightly jittered
+// in lateral position and heading (real lots are never perfectly aligned).
+// Normal/hard difficulties add the aisle patrol vehicle and a crossing
+// pedestrian. Recognized parameters:
+//   occupancy   probability a non-goal bay holds a parked car (default 0.7)
+
+#include "geom/angles.hpp"
+#include "world/generators/common.hpp"
+#include "world/generators/generator.hpp"
+
+namespace icoil::world {
+namespace {
+
+class PerpendicularGenerator final : public ScenarioGenerator {
+ public:
+  std::string name() const override { return "perpendicular"; }
+  std::string description() const override {
+    return "Standard lot with randomly occupied neighbour bays "
+           "(occupancy, default 0.7) + patrol and pedestrian";
+  }
+
+  GeneratorOutput build(const GeneratorParams& params, Difficulty,
+                        math::Rng& rng) const override {
+    GeneratorOutput out;
+    out.map = ParkingLotMap::standard();
+    const double occupancy = params.get("occupancy", 0.7);
+    const double bay_heading = geom::kPi / 2.0;
+
+    int id = 0;
+    for (std::size_t i = 0; i < out.map.bays.size(); ++i) {
+      if (i == out.map.goal_bay_index) continue;
+      if (!rng.bernoulli(occupancy)) continue;
+      Obstacle car;
+      car.id = id++;
+      car.name = "parked_car_bay" + std::to_string(i);
+      car.shape = geom::Obb{{out.map.bays[i].center.x + rng.uniform(-0.15, 0.15),
+                             2.9 + rng.uniform(-0.3, 0.3)},
+                            bay_heading + rng.uniform(-0.05, 0.05), 2.1, 0.9};
+      out.obstacles.push_back(car);
+    }
+
+    out.obstacles.push_back(make_patrol_vehicle(id++));
+    out.obstacles.push_back(make_crossing_pedestrian(id++));
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ScenarioGenerator> make_perpendicular_generator() {
+  return std::make_unique<PerpendicularGenerator>();
+}
+
+}  // namespace icoil::world

@@ -1,0 +1,45 @@
+#include "world/generators/registry.hpp"
+
+#include <algorithm>
+
+namespace icoil::world {
+
+GeneratorRegistry::GeneratorRegistry() {
+  add(make_canonical_generator());
+  add(make_perpendicular_generator());
+  add(make_parallel_street_generator());
+  add(make_crowded_lot_generator());
+  add(make_dynamic_gauntlet_generator());
+}
+
+GeneratorRegistry& GeneratorRegistry::instance() {
+  static GeneratorRegistry registry;
+  return registry;
+}
+
+void GeneratorRegistry::add(std::unique_ptr<ScenarioGenerator> generator) {
+  const std::string key = generator->name();
+  for (auto& existing : generators_) {
+    if (existing->name() == key) {
+      existing = std::move(generator);
+      return;
+    }
+  }
+  generators_.push_back(std::move(generator));
+}
+
+const ScenarioGenerator* GeneratorRegistry::find(const std::string& name) const {
+  for (const auto& g : generators_)
+    if (g->name() == name) return g.get();
+  return nullptr;
+}
+
+std::vector<std::string> GeneratorRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(generators_.size());
+  for (const auto& g : generators_) out.push_back(g->name());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace icoil::world

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "world/generators/generator.hpp"
+
+namespace icoil::world {
+
+/// Process-wide, string-keyed registry of scenario generators. The built-in
+/// family is registered on first access; applications may `add` their own
+/// generators (or replace built-ins by reusing a name) before building
+/// scenarios. Registration must happen before concurrent use; lookups are
+/// read-only afterwards and safe to share across evaluator worker threads.
+class GeneratorRegistry {
+ public:
+  static GeneratorRegistry& instance();
+
+  /// Register `generator` under its own name(), replacing any previous
+  /// entry with the same name.
+  void add(std::unique_ptr<ScenarioGenerator> generator);
+
+  /// Look up by name; nullptr when unknown.
+  const ScenarioGenerator* find(const std::string& name) const;
+
+  /// Registered names in sorted order.
+  std::vector<std::string> names() const;
+
+  std::size_t size() const { return generators_.size(); }
+
+ private:
+  GeneratorRegistry();  // seeds the built-in family
+
+  std::vector<std::unique_ptr<ScenarioGenerator>> generators_;
+};
+
+}  // namespace icoil::world

@@ -1,10 +1,12 @@
 #include "world/scenario.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "geom/angles.hpp"
 #include "mathkit/rng.hpp"
 #include "vehicle/kinematics.hpp"
+#include "world/generators/registry.hpp"
 
 namespace icoil::world {
 
@@ -26,45 +28,6 @@ std::string to_string(StartClass s) {
   return "?";
 }
 
-std::vector<Obstacle> canonical_obstacles() {
-  std::vector<Obstacle> obs;
-  const ParkingLotMap map = ParkingLotMap::standard();
-  const double bay_heading = geom::kPi / 2.0;
-
-  // Static 1 & 2: cars parked in the bays flanking the goal bay.
-  const geom::Obb& left_bay = map.bays[map.goal_bay_index - 1];
-  const geom::Obb& right_bay = map.bays[map.goal_bay_index + 1];
-  obs.push_back({0, "parked_car_left",
-                 geom::Obb{{left_bay.center.x, 2.9}, bay_heading, 2.1, 0.9},
-                 {}});
-  obs.push_back({1, "parked_car_right",
-                 geom::Obb{{right_bay.center.x, 2.9}, bay_heading, 2.1, 0.9},
-                 {}});
-  // Static 3: a pillar/crate on the aisle side, forcing a detour.
-  obs.push_back({2, "aisle_pillar", geom::Obb{{14.0, 17.0}, 0.0, 1.0, 1.0}, {}});
-
-  // Dynamic 1: a vehicle patrolling the aisle above the bay row.
-  Obstacle patrol;
-  patrol.id = 3;
-  patrol.name = "patrol_vehicle";
-  patrol.shape = geom::Obb{{0.0, 0.0}, 0.0, 2.1, 0.9};
-  patrol.motion.waypoints = {{10.0, 19.5}, {30.0, 19.5}};
-  patrol.motion.speed = 1.2;
-  obs.push_back(patrol);
-
-  // Dynamic 2: a pedestrian crossing between the bay row and the aisle.
-  Obstacle ped;
-  ped.id = 4;
-  ped.name = "pedestrian";
-  ped.shape = geom::Obb{{0.0, 0.0}, 0.0, 0.35, 0.35};
-  ped.motion.waypoints = {{26.0, 9.0}, {26.0, 16.0}};
-  ped.motion.speed = 0.7;
-  ped.motion.phase = 3.0;
-  obs.push_back(ped);
-
-  return obs;
-}
-
 namespace {
 
 const geom::Aabb& spawn_region(const ParkingLotMap& map, StartClass s) {
@@ -79,23 +42,35 @@ const geom::Aabb& spawn_region(const ParkingLotMap& map, StartClass s) {
 }  // namespace
 
 Scenario make_scenario(const ScenarioOptions& options, std::uint64_t seed) {
+  const ScenarioGenerator* generator =
+      GeneratorRegistry::instance().find(options.generator);
+  if (generator == nullptr)
+    throw std::invalid_argument("make_scenario: unknown scenario generator \"" +
+                                options.generator + "\"");
+
   math::Rng rng(seed ^ 0xA5C3D2E1ull);
   Scenario sc;
-  sc.map = ParkingLotMap::standard();
+  sc.generator = options.generator;
   sc.difficulty = options.difficulty;
   sc.start_class = options.start_class;
   sc.seed = seed;
   sc.time_limit = options.time_limit;
 
-  // Obstacle roster: level default or explicit override (Fig 8 sweep).
-  std::vector<Obstacle> roster = canonical_obstacles();
+  // Map + full obstacle roster from the generator family. The RNG is shared
+  // with the steps below, so generators that do not randomize their layout
+  // (e.g. canonical) leave the downstream stream untouched.
+  GeneratorOutput built =
+      generator->build(options.params, options.difficulty, rng);
+  sc.map = std::move(built.map);
+  std::vector<Obstacle> roster = std::move(built.obstacles);
+
+  // Roster size: level default or explicit override (Fig 8 sweep).
   int count;
   if (options.num_obstacles_override >= 0) {
     count = std::min<int>(options.num_obstacles_override,
                           static_cast<int>(roster.size()));
   } else {
-    count = options.difficulty == Difficulty::kEasy ? 3
-                                                    : static_cast<int>(roster.size());
+    count = generator->default_count(options.difficulty, roster);
   }
   roster.resize(count);
   // Jitter dynamic obstacle phases so seeds see different timings.

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "world/generators/params.hpp"
 #include "world/map.hpp"
 #include "world/obstacle.hpp"
 
@@ -41,6 +42,7 @@ struct NoiseConfig {
 struct Scenario {
   ParkingLotMap map;
   std::vector<Obstacle> obstacles;
+  std::string generator = "canonical";  ///< generator that produced it
   Difficulty difficulty = Difficulty::kEasy;
   StartClass start_class = StartClass::kRandom;
   NoiseConfig noise;
@@ -49,23 +51,29 @@ struct Scenario {
   double time_limit = 60.0;     ///< episode timeout [s]
 };
 
-/// Options for building scenarios; `num_obstacles_override` (Fig 8) keeps the
-/// first N obstacles of the canonical list (static first, then dynamic).
+/// Options for building scenarios. `generator` selects a family from the
+/// GeneratorRegistry ("canonical" is the paper's lot) and `params` carries
+/// generator-specific knobs. `num_obstacles_override` (Fig 8) keeps the
+/// first N obstacles of the generator's roster (static first, then dynamic).
 struct ScenarioOptions {
+  std::string generator = "canonical";
+  GeneratorParams params;
   Difficulty difficulty = Difficulty::kEasy;
   StartClass start_class = StartClass::kRandom;
   int num_obstacles_override = -1;  ///< -1 = level default
   double time_limit = 60.0;
 };
 
-/// Deterministically build a scenario instance for a seed: samples the start
-/// pose inside the requested spawn region and instantiates the level's
-/// obstacles and noise settings.
+/// Deterministically build a scenario instance for a seed: dispatches to the
+/// registered generator for the map and obstacle roster, then samples the
+/// start pose inside the requested spawn region and applies the level's
+/// noise settings. Throws std::invalid_argument for an unknown generator.
 Scenario make_scenario(const ScenarioOptions& options, std::uint64_t seed);
 
 /// The canonical obstacle roster of the Fig-4 map: three static (parked cars
 /// flanking the goal bay + an aisle pillar) and two dynamic (a patrolling
-/// vehicle and a crossing pedestrian).
+/// vehicle and a crossing pedestrian). Implemented by the "canonical"
+/// generator in world/generators/canonical.cpp.
 std::vector<Obstacle> canonical_obstacles();
 
 }  // namespace icoil::world

@@ -7,7 +7,15 @@
 
 namespace icoil::world {
 
-World::World(Scenario scenario) : scenario_(std::move(scenario)) {}
+World::World(Scenario scenario) : scenario_(std::move(scenario)) {
+  for (std::size_t i = 0; i < scenario_.obstacles.size(); ++i) {
+    const Obstacle& o = scenario_.obstacles[i];
+    if (o.dynamic())
+      dynamic_indices_.push_back(i);
+    else
+      static_set_.push(o.shape);
+  }
+}
 
 std::vector<ObstacleState> World::obstacle_states() const {
   std::vector<ObstacleState> out;
@@ -29,15 +37,26 @@ bool World::in_collision(const geom::Obb& footprint) const {
   // Lot boundary: every footprint corner must stay inside.
   for (const geom::Vec2& c : footprint.corners())
     if (!scenario_.map.bounds.contains(c)) return true;
-  for (const Obstacle& o : scenario_.obstacles)
-    if (geom::overlaps(footprint, o.footprint_at(time_))) return true;
+  // Statics through the broad-phase cache, dynamics with a fresh AABB
+  // prefilter on their current footprint.
+  if (static_set_.any_overlap(footprint)) return true;
+  const geom::Aabb fp_bb = footprint.aabb();
+  for (std::size_t i : dynamic_indices_) {
+    const geom::Obb box = scenario_.obstacles[i].footprint_at(time_);
+    if (!fp_bb.overlaps(box.aabb())) continue;
+    if (geom::overlaps(footprint, box)) return true;
+  }
   return false;
 }
 
 double World::clearance(const geom::Obb& footprint) const {
-  double best = std::numeric_limits<double>::infinity();
-  for (const Obstacle& o : scenario_.obstacles)
-    best = std::min(best, geom::obb_distance(footprint, o.footprint_at(time_)));
+  double best = static_set_.min_distance(footprint);
+  const geom::Aabb fp_bb = footprint.aabb();
+  for (std::size_t i : dynamic_indices_) {
+    const geom::Obb box = scenario_.obstacles[i].footprint_at(time_);
+    if (geom::aabb_distance(fp_bb, box.aabb()) >= best) continue;
+    best = std::min(best, geom::obb_distance(footprint, box));
+  }
   return best;
 }
 

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "geom/broadphase.hpp"
 #include "geom/obb.hpp"
 #include "vehicle/kinematics.hpp"
 #include "world/scenario.hpp"
@@ -36,6 +37,13 @@ class World {
   std::vector<ObstacleState> obstacle_states() const;
   std::vector<geom::Obb> obstacle_boxes() const;
 
+  /// Broad-phase cache over the static obstacles (footprints never move).
+  const geom::ObbSet& static_obstacle_set() const { return static_set_; }
+  /// Indices into scenario().obstacles of the dynamic obstacles.
+  const std::vector<std::size_t>& dynamic_obstacle_indices() const {
+    return dynamic_indices_;
+  }
+
   /// True if `footprint` hits any obstacle or leaves the lot bounds.
   bool in_collision(const geom::Obb& footprint) const;
   /// Distance from `footprint` to the nearest obstacle (inf if none).
@@ -48,6 +56,11 @@ class World {
  private:
   Scenario scenario_;
   double time_ = 0.0;
+  /// Broad-phase cache: static obstacle footprints never move, so their
+  /// AABBs are computed once; dynamic obstacles are indexed for the
+  /// per-query narrow phase.
+  geom::ObbSet static_set_;
+  std::vector<std::size_t> dynamic_indices_;
 };
 
 }  // namespace icoil::world

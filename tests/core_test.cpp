@@ -119,6 +119,48 @@ TEST(ModeSwitcherTest, ToString) {
   EXPECT_STREQ(to_string(Mode::kCo), "CO");
 }
 
+TEST(ModeSwitcherTest, CounterSaturatesAtSentinel) {
+  // Before any switch the counter sits at the named sentinel and must not
+  // grow past it no matter how many frames elapse (overflow guard for long
+  // episodes), while still allowing an immediate first switch.
+  HsaConfig cfg;
+  cfg.lambda = 1.0;
+  cfg.guard_frames = 5;
+  ModeSwitcher sw(cfg, Mode::kCo);
+  EXPECT_EQ(sw.frames_since_switch(), ModeSwitcher::kNeverSwitched);
+  for (int i = 0; i < 1000; ++i) sw.update(10.0);  // agrees with CO: no switch
+  EXPECT_EQ(sw.frames_since_switch(), ModeSwitcher::kNeverSwitched);
+  EXPECT_EQ(sw.update(0.1), Mode::kIl);  // first switch never guard-held
+  EXPECT_EQ(sw.frames_since_switch(), 0);
+  sw.reset(Mode::kCo);
+  EXPECT_EQ(sw.frames_since_switch(), ModeSwitcher::kNeverSwitched);
+}
+
+TEST(HsaTest, ComplexityWellBehavedWithManyObstacles) {
+  // Crowded generators put 8+ obstacles in the detector output; eq. (8)
+  // must stay finite and strictly monotone in the obstacle count, with the
+  // closed form ((Na + K) / (Na + 1))^3.5 when all K sit at D0.
+  HsaConfig cfg;
+  Hsa hsa(cfg);
+  double prev = 0.0;
+  for (int k = 1; k <= 12; ++k) {
+    hsa.reset();
+    const std::vector<double> at_d0(static_cast<std::size_t>(k), cfg.d0);
+    hsa.push(0.3, at_d0);
+    const double c = hsa.normalized_complexity();
+    const double expected =
+        std::pow((cfg.action_dim + k) / (cfg.action_dim + 1.0), 3.5);
+    EXPECT_NEAR(c, expected, 1e-9) << k;
+    EXPECT_TRUE(std::isfinite(c)) << k;
+    EXPECT_GT(c, prev) << k;
+    prev = c;
+    // The switching ratio stays positive and finite: more obstacles push
+    // toward IL smoothly instead of saturating.
+    EXPECT_GT(hsa.ratio(), 0.0);
+    EXPECT_TRUE(std::isfinite(hsa.ratio()));
+  }
+}
+
 // ------------------------------------------------------------ controllers
 
 il::IlPolicyConfig tiny_policy_config() {

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geom/angles.hpp"
+#include "vehicle/kinematics.hpp"
+#include "world/generators/registry.hpp"
+#include "world/scenario.hpp"
+
+namespace icoil::world {
+namespace {
+
+const char* kBuiltins[] = {"canonical", "perpendicular", "parallel_street",
+                           "crowded_lot", "dynamic_gauntlet"};
+
+Scenario build(const std::string& generator, std::uint64_t seed,
+               Difficulty difficulty = Difficulty::kNormal) {
+  ScenarioOptions opt;
+  opt.generator = generator;
+  opt.difficulty = difficulty;
+  return make_scenario(opt, seed);
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(GeneratorRegistryTest, BuiltinFamilyRegistered) {
+  const auto& registry = GeneratorRegistry::instance();
+  EXPECT_GE(registry.size(), 5u);
+  for (const char* name : kBuiltins) {
+    const ScenarioGenerator* gen = registry.find(name);
+    ASSERT_NE(gen, nullptr) << name;
+    EXPECT_EQ(gen->name(), name);
+    EXPECT_FALSE(gen->description().empty());
+  }
+  // names() is sorted and contains every builtin.
+  const auto names = registry.names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(GeneratorRegistryTest, UnknownGeneratorIsNullAndThrows) {
+  EXPECT_EQ(GeneratorRegistry::instance().find("no_such_family"), nullptr);
+  ScenarioOptions opt;
+  opt.generator = "no_such_family";
+  EXPECT_THROW(make_scenario(opt, 1), std::invalid_argument);
+}
+
+TEST(GeneratorRegistryTest, CustomGeneratorRegisters) {
+  class OneBoxGenerator final : public ScenarioGenerator {
+   public:
+    std::string name() const override { return "test_one_box"; }
+    std::string description() const override { return "single crate"; }
+    GeneratorOutput build(const GeneratorParams&, Difficulty,
+                          math::Rng&) const override {
+      GeneratorOutput out;
+      out.map = ParkingLotMap::standard();
+      out.obstacles.push_back(
+          {0, "crate", geom::Obb{{10.0, 25.0}, 0.0, 0.5, 0.5}, {}});
+      return out;
+    }
+  };
+  GeneratorRegistry::instance().add(std::make_unique<OneBoxGenerator>());
+  const Scenario sc = build("test_one_box", 3);
+  EXPECT_EQ(sc.obstacles.size(), 1u);
+  EXPECT_EQ(sc.generator, "test_one_box");
+}
+
+// ------------------------------------------------------------- determinism
+
+TEST(GeneratorDeterminismTest, SameSeedReproducesScenario) {
+  for (const char* name : kBuiltins) {
+    for (std::uint64_t seed : {1ull, 42ull, 977ull}) {
+      const Scenario a = build(name, seed);
+      const Scenario b = build(name, seed);
+      EXPECT_DOUBLE_EQ(a.start_pose.x(), b.start_pose.x()) << name;
+      EXPECT_DOUBLE_EQ(a.start_pose.y(), b.start_pose.y()) << name;
+      EXPECT_DOUBLE_EQ(a.start_pose.heading, b.start_pose.heading) << name;
+      ASSERT_EQ(a.obstacles.size(), b.obstacles.size()) << name;
+      for (std::size_t i = 0; i < a.obstacles.size(); ++i) {
+        const Obstacle& oa = a.obstacles[i];
+        const Obstacle& ob = b.obstacles[i];
+        EXPECT_EQ(oa.name, ob.name) << name;
+        EXPECT_DOUBLE_EQ(oa.shape.center.x, ob.shape.center.x) << name;
+        EXPECT_DOUBLE_EQ(oa.shape.center.y, ob.shape.center.y) << name;
+        EXPECT_DOUBLE_EQ(oa.shape.heading, ob.shape.heading) << name;
+        EXPECT_DOUBLE_EQ(oa.shape.half_length, ob.shape.half_length) << name;
+        EXPECT_DOUBLE_EQ(oa.shape.half_width, ob.shape.half_width) << name;
+        EXPECT_DOUBLE_EQ(oa.motion.phase, ob.motion.phase) << name;
+        EXPECT_DOUBLE_EQ(oa.motion.speed, ob.motion.speed) << name;
+      }
+    }
+  }
+}
+
+TEST(GeneratorDeterminismTest, DifferentSeedsDiffer) {
+  for (const char* name : kBuiltins) {
+    const Scenario a = build(name, 11);
+    const Scenario b = build(name, 12);
+    EXPECT_NE(a.start_pose.x(), b.start_pose.x()) << name;
+  }
+}
+
+// ------------------------------------------------------------ start safety
+
+TEST(GeneratorSafetyTest, StartPoseCollisionFreeAndInsideRegion) {
+  const vehicle::BicycleModel model;
+  for (const char* name : kBuiltins) {
+    for (auto difficulty : {Difficulty::kEasy, Difficulty::kNormal}) {
+      for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        const Scenario sc = build(name, seed, difficulty);
+        const geom::Obb fp = model.footprint(sc.start_pose);
+        for (const Obstacle& o : sc.obstacles)
+          EXPECT_FALSE(geom::overlaps(fp, o.footprint_at(0.0)))
+              << name << " seed " << seed << " vs " << o.name;
+        EXPECT_TRUE(sc.map.spawn_random.contains(sc.start_pose.position))
+            << name << " seed " << seed;
+        for (const geom::Vec2& c : fp.corners())
+          EXPECT_TRUE(sc.map.bounds.contains(c)) << name << " seed " << seed;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- canonical goldens
+
+TEST(CanonicalGoldenTest, ExactObstacleSet) {
+  // Golden values of the seed code's canonical_obstacles(): any drift here
+  // silently invalidates every paper-comparison number.
+  const auto obs = canonical_obstacles();
+  ASSERT_EQ(obs.size(), 5u);
+
+  EXPECT_EQ(obs[0].name, "parked_car_left");
+  EXPECT_DOUBLE_EQ(obs[0].shape.center.x, 27.5);
+  EXPECT_DOUBLE_EQ(obs[0].shape.center.y, 2.9);
+  EXPECT_DOUBLE_EQ(obs[0].shape.heading, geom::kPi / 2.0);
+  EXPECT_DOUBLE_EQ(obs[0].shape.half_length, 2.1);
+  EXPECT_DOUBLE_EQ(obs[0].shape.half_width, 0.9);
+
+  EXPECT_EQ(obs[1].name, "parked_car_right");
+  EXPECT_DOUBLE_EQ(obs[1].shape.center.x, 33.5);
+  EXPECT_DOUBLE_EQ(obs[1].shape.center.y, 2.9);
+
+  EXPECT_EQ(obs[2].name, "aisle_pillar");
+  EXPECT_DOUBLE_EQ(obs[2].shape.center.x, 14.0);
+  EXPECT_DOUBLE_EQ(obs[2].shape.center.y, 17.0);
+  EXPECT_DOUBLE_EQ(obs[2].shape.half_length, 1.0);
+  EXPECT_DOUBLE_EQ(obs[2].shape.half_width, 1.0);
+
+  EXPECT_EQ(obs[3].name, "patrol_vehicle");
+  ASSERT_EQ(obs[3].motion.waypoints.size(), 2u);
+  EXPECT_DOUBLE_EQ(obs[3].motion.waypoints[0].x, 10.0);
+  EXPECT_DOUBLE_EQ(obs[3].motion.waypoints[0].y, 19.5);
+  EXPECT_DOUBLE_EQ(obs[3].motion.waypoints[1].x, 30.0);
+  EXPECT_DOUBLE_EQ(obs[3].motion.waypoints[1].y, 19.5);
+  EXPECT_DOUBLE_EQ(obs[3].motion.speed, 1.2);
+  EXPECT_DOUBLE_EQ(obs[3].motion.phase, 0.0);
+
+  EXPECT_EQ(obs[4].name, "pedestrian");
+  EXPECT_DOUBLE_EQ(obs[4].shape.half_length, 0.35);
+  ASSERT_EQ(obs[4].motion.waypoints.size(), 2u);
+  EXPECT_DOUBLE_EQ(obs[4].motion.waypoints[0].x, 26.0);
+  EXPECT_DOUBLE_EQ(obs[4].motion.waypoints[0].y, 9.0);
+  EXPECT_DOUBLE_EQ(obs[4].motion.speed, 0.7);
+  EXPECT_DOUBLE_EQ(obs[4].motion.phase, 3.0);
+}
+
+TEST(CanonicalGoldenTest, RegistryBuildMatchesLegacyRoster) {
+  const ScenarioGenerator* gen =
+      GeneratorRegistry::instance().find("canonical");
+  ASSERT_NE(gen, nullptr);
+  math::Rng rng(7);
+  const GeneratorOutput out = gen->build({}, Difficulty::kNormal, rng);
+  const auto legacy = canonical_obstacles();
+  ASSERT_EQ(out.obstacles.size(), legacy.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(out.obstacles[i].name, legacy[i].name);
+    EXPECT_DOUBLE_EQ(out.obstacles[i].shape.center.x,
+                     legacy[i].shape.center.x);
+    EXPECT_DOUBLE_EQ(out.obstacles[i].shape.center.y,
+                     legacy[i].shape.center.y);
+    EXPECT_DOUBLE_EQ(out.obstacles[i].motion.phase, legacy[i].motion.phase);
+  }
+  // The canonical generator never consumes the RNG: the stream continues
+  // exactly where it started, preserving bit-for-bit scenario equality
+  // with the pre-registry code.
+  math::Rng untouched(7);
+  EXPECT_DOUBLE_EQ(rng.uniform(), untouched.uniform());
+}
+
+TEST(CanonicalGoldenTest, MakeScenarioStartPoseGolden) {
+  // The sampled start pose for (easy, seed 500) must match the pre-registry
+  // pipeline: same RNG construction, same consumption order.
+  ScenarioOptions opt;
+  opt.difficulty = Difficulty::kEasy;
+  const Scenario sc = make_scenario(opt, 500);
+  math::Rng rng(500ull ^ 0xA5C3D2E1ull);
+  const geom::Pose2 expected{rng.uniform(2.0, 24.0), rng.uniform(10.0, 14.0),
+                             geom::wrap_angle(rng.uniform(-0.25, 0.25))};
+  EXPECT_DOUBLE_EQ(sc.start_pose.x(), expected.x());
+  EXPECT_DOUBLE_EQ(sc.start_pose.y(), expected.y());
+  EXPECT_DOUBLE_EQ(sc.start_pose.heading, expected.heading);
+}
+
+// ------------------------------------------------------ family invariants
+
+TEST(CrowdedLotTest, AtLeastEightObstacles) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Scenario sc = build("crowded_lot", seed);
+    EXPECT_GE(sc.obstacles.size(), 8u) << "seed " << seed;
+    int dynamic = 0;
+    for (const Obstacle& o : sc.obstacles) dynamic += o.dynamic() ? 1 : 0;
+    EXPECT_EQ(dynamic, 2) << "seed " << seed;
+  }
+}
+
+TEST(CrowdedLotTest, ObstacleCountParameter) {
+  ScenarioOptions opt;
+  opt.generator = "crowded_lot";
+  opt.difficulty = Difficulty::kNormal;
+  opt.params.set("num_obstacles", 14);
+  const Scenario sc = make_scenario(opt, 5);
+  EXPECT_GE(sc.obstacles.size(), 10u);
+  EXPECT_LE(sc.obstacles.size(), 14u);
+}
+
+TEST(CrowdedLotTest, EasyKeepsOnlyStatics) {
+  const Scenario sc = build("crowded_lot", 3, Difficulty::kEasy);
+  EXPECT_GE(sc.obstacles.size(), 6u);
+  for (const Obstacle& o : sc.obstacles) EXPECT_FALSE(o.dynamic()) << o.name;
+}
+
+TEST(DynamicGauntletTest, MoverCountAndSpeedScale) {
+  ScenarioOptions opt;
+  opt.generator = "dynamic_gauntlet";
+  opt.difficulty = Difficulty::kNormal;
+  opt.params.set("num_movers", 6);
+  opt.params.set("speed_scale", 2.0);
+  const Scenario sc = make_scenario(opt, 9);
+  int dynamic = 0;
+  for (const Obstacle& o : sc.obstacles) dynamic += o.dynamic() ? 1 : 0;
+  EXPECT_EQ(dynamic, 6);
+  EXPECT_EQ(sc.obstacles.size(), 8u);  // 2 statics + 6 movers
+  // First mover is the aisle patrol: template speed 1.3 doubled.
+  EXPECT_DOUBLE_EQ(sc.obstacles[2].motion.speed, 2.6);
+}
+
+TEST(ParallelStreetTest, MapShapeAndParkedParameter) {
+  const Scenario sc = build("parallel_street", 4);
+  EXPECT_DOUBLE_EQ(sc.map.bounds.max.x, 40.0);
+  EXPECT_DOUBLE_EQ(sc.map.bounds.max.y, 14.0);
+  EXPECT_EQ(sc.map.bays.size(), 5u);
+  EXPECT_DOUBLE_EQ(sc.map.goal_pose.heading, 0.0);
+  EXPECT_TRUE(sc.map.goal_bay().contains(sc.map.goal_pose.position));
+  EXPECT_TRUE(sc.map.bounds.contains(sc.map.goal_pose.position));
+
+  ScenarioOptions opt;
+  opt.generator = "parallel_street";
+  opt.difficulty = Difficulty::kNormal;
+  opt.params.set("parked", 2);
+  const Scenario two = make_scenario(opt, 4);
+  int statics = 0;
+  for (const Obstacle& o : two.obstacles) statics += o.dynamic() ? 0 : 1;
+  EXPECT_EQ(statics, 2);
+}
+
+TEST(PerpendicularTest, OccupancyBounds) {
+  ScenarioOptions opt;
+  opt.generator = "perpendicular";
+  opt.difficulty = Difficulty::kNormal;
+  opt.params.set("occupancy", 1.0);
+  const Scenario full = make_scenario(opt, 2);
+  int statics = 0;
+  for (const Obstacle& o : full.obstacles) statics += o.dynamic() ? 0 : 1;
+  EXPECT_EQ(statics, 5);  // every non-goal bay occupied
+
+  opt.params.set("occupancy", 0.0);
+  const Scenario none = make_scenario(opt, 2);
+  for (const Obstacle& o : none.obstacles) EXPECT_TRUE(o.dynamic());
+}
+
+TEST(GeneratorOverrideTest, RosterTruncationAppliesToEveryFamily) {
+  for (const char* name : kBuiltins) {
+    ScenarioOptions opt;
+    opt.generator = name;
+    opt.difficulty = Difficulty::kNormal;
+    opt.num_obstacles_override = 1;
+    EXPECT_EQ(make_scenario(opt, 1).obstacles.size(), 1u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace icoil::world

@@ -157,6 +157,98 @@ TEST(EvaluatorTest, DetailedResultsInSeedOrderAndThreadInvariant) {
   }
 }
 
+// -------------------------------------------------------------- suite API
+
+TEST(ScenarioSuiteTest, CrossBuildsEveryCell) {
+  const ScenarioSuite suite = ScenarioSuite::cross(
+      {"canonical", "dynamic_gauntlet"},
+      {world::Difficulty::kEasy, world::Difficulty::kNormal},
+      {world::StartClass::kClose});
+  ASSERT_EQ(suite.cells.size(), 4u);
+  EXPECT_EQ(suite.cells[0].generator, "canonical");
+  EXPECT_EQ(suite.cells[3].generator, "dynamic_gauntlet");
+  EXPECT_EQ(suite.cells[1].display_label(), "canonical/normal/close");
+}
+
+TEST(ScenarioSuiteTest, CellLabelOverride) {
+  SuiteCell cell;
+  cell.label = "custom";
+  EXPECT_EQ(cell.display_label(), "custom");
+  cell.label.clear();
+  EXPECT_EQ(cell.display_label(), "canonical/easy/random");
+}
+
+TEST(EvaluatorTest, SuiteMatchesPerCellEvaluate) {
+  // The batched fan-out must reproduce per-cell evaluation exactly: same
+  // seeds, same scenarios, same outcomes.
+  EvalConfig cfg;
+  cfg.episodes = 5;
+  Evaluator ev(cfg);
+  const core::ControllerFactory factory = [] {
+    return std::make_unique<FixedController>(
+        vehicle::Command{1.0, 0.0, 0.3, false});
+  };
+
+  ScenarioSuite suite;
+  SuiteCell easy;
+  easy.difficulty = world::Difficulty::kEasy;
+  easy.time_limit = 4.0;
+  suite.add(easy);
+  SuiteCell gauntlet;
+  gauntlet.generator = "dynamic_gauntlet";
+  gauntlet.difficulty = world::Difficulty::kNormal;
+  gauntlet.time_limit = 4.0;
+  suite.add(gauntlet);
+
+  const auto batched = ev.evaluate_suite(factory, suite, "fixed");
+  ASSERT_EQ(batched.size(), 2u);
+  for (std::size_t c = 0; c < suite.cells.size(); ++c) {
+    const Aggregate solo =
+        ev.evaluate(factory, suite.cells[c].options(), "fixed");
+    const Aggregate& agg = batched[c].aggregate;
+    EXPECT_EQ(agg.episodes, solo.episodes);
+    EXPECT_EQ(agg.successes, solo.successes);
+    EXPECT_EQ(agg.collisions, solo.collisions);
+    EXPECT_EQ(agg.timeouts, solo.timeouts);
+    EXPECT_DOUBLE_EQ(agg.park_time.mean(), solo.park_time.mean());
+    EXPECT_DOUBLE_EQ(agg.min_clearance.mean(), solo.min_clearance.mean());
+    EXPECT_EQ(agg.level, suite.cells[c].display_label());
+    EXPECT_EQ(agg.method, "fixed");
+  }
+}
+
+TEST(EvaluatorTest, SuiteThreadInvariant) {
+  const core::ControllerFactory factory = [] {
+    return std::make_unique<FixedController>(
+        vehicle::Command{1.0, 0.0, -0.2, false});
+  };
+  ScenarioSuite suite;
+  SuiteCell cell;
+  cell.generator = "crowded_lot";
+  cell.difficulty = world::Difficulty::kNormal;
+  cell.time_limit = 3.0;
+  suite.add(cell);
+  SuiteCell street;
+  street.generator = "parallel_street";
+  street.time_limit = 3.0;
+  suite.add(street);
+
+  EvalConfig cfg1;
+  cfg1.episodes = 6;
+  cfg1.num_threads = 1;
+  EvalConfig cfg4 = cfg1;
+  cfg4.num_threads = 4;
+  const auto r1 = Evaluator(cfg1).evaluate_suite(factory, suite, "fixed");
+  const auto r4 = Evaluator(cfg4).evaluate_suite(factory, suite, "fixed");
+  ASSERT_EQ(r1.size(), r4.size());
+  for (std::size_t c = 0; c < r1.size(); ++c) {
+    EXPECT_EQ(r1[c].aggregate.successes, r4[c].aggregate.successes);
+    EXPECT_EQ(r1[c].aggregate.collisions, r4[c].aggregate.collisions);
+    EXPECT_DOUBLE_EQ(r1[c].aggregate.park_time.mean(),
+                     r4[c].aggregate.park_time.mean());
+  }
+}
+
 // ----------------------------------------------------------------- expert
 
 TEST(ExpertTest, RecordsLabelledSamples) {
