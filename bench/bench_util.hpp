@@ -17,9 +17,7 @@
 namespace icoil::bench {
 
 inline int episodes_override(int fallback) {
-  if (const char* env = std::getenv("ICOIL_EPISODES"))
-    return std::max(1, std::atoi(env));
-  return fallback;
+  return sim::env_int_or("ICOIL_EPISODES", fallback);
 }
 
 /// The shared trained policy (cached on disk next to the working directory).

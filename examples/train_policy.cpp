@@ -1,31 +1,101 @@
 // Records expert demonstrations with the CO planner, trains the IL network
 // (section IV-A architecture, eqs. 2-3 objective) and reports the learning
 // curve plus the dataset composition — the workflow behind the paper's
-// "5171 samples, 300 epochs" setup.
+// "5171 samples, 300 epochs" setup, extended with cross-family training
+// curricula.
 //
-// Usage: train_policy [epochs] [expert-episodes]
-// Caches il_dataset.bin / il_policy.bin in the working directory.
+// Usage: train_policy [--curriculum all|canonical|g1,g2,...] [--bev N]
+//                     [epochs] [expert-episodes]
+// Caches il_dataset-<fp>.bin / il_policy-<fp>.bin in the working directory,
+// keyed by a fingerprint of the curriculum + recorder + network spec, so
+// differently-trained policies never clobber each other.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "il/action.hpp"
 #include "il/trainer.hpp"
+#include "sim/curriculum.hpp"
 #include "sim/expert.hpp"
 #include "sim/policy_store.hpp"
+
+namespace {
+
+int parse_positive_int(const char* arg, const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(arg, &end, 10);
+  if (errno != 0 || end == arg || *end != '\0' || v < 1 ||
+      v > 1000000000L) {
+    std::fprintf(stderr, "train_policy: bad %s \"%s\"\n", what, arg);
+    std::exit(2);
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace icoil;
 
   sim::PolicyStoreOptions options = sim::default_policy_options();
-  if (argc > 1) options.train.epochs = std::atoi(argv[1]);
-  if (argc > 2) options.expert.episodes = std::atoi(argv[2]);
+  std::string curriculum_spec = "canonical";
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const bool is_curriculum = std::strcmp(argv[i], "--curriculum") == 0;
+    const bool is_bev = std::strcmp(argv[i], "--bev") == 0;
+    if (is_curriculum || is_bev) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "train_policy: missing value for %s\n", argv[i]);
+        return 2;
+      }
+      if (is_curriculum)
+        curriculum_spec = argv[++i];
+      else
+        options.policy.bev_size = parse_positive_int(argv[++i], "--bev size");
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: train_policy [--curriculum all|canonical|g1,g2,...] "
+          "[--bev N] [epochs] [expert-episodes]\n");
+      return 0;
+    } else if (positional == 0) {
+      options.train.epochs = parse_positive_int(argv[i], "epoch count");
+      ++positional;
+    } else if (positional == 1) {
+      options.expert.episodes = parse_positive_int(argv[i], "episode count");
+      ++positional;
+    } else {
+      std::fprintf(stderr, "train_policy: unexpected argument \"%s\"\n", argv[i]);
+      return 2;
+    }
+  }
 
-  // Record (or load) the demonstration dataset.
+  try {
+    options.expert.curriculum = sim::Curriculum::parse(curriculum_spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "train_policy: %s\n", e.what());
+    return 2;
+  }
+
+  std::printf("curriculum \"%s\" (%zu cells):\n",
+              options.expert.curriculum.name.c_str(),
+              options.expert.curriculum.size());
+  const auto counts =
+      options.expert.curriculum.episode_counts(options.expert.episodes);
+  for (std::size_t i = 0; i < options.expert.curriculum.size(); ++i)
+    std::printf("  %-28s weight %.1f -> %d episodes\n",
+                options.expert.curriculum.entries[i].label().c_str(),
+                options.expert.curriculum.entries[i].weight, counts[i]);
+
+  // Record (or load) the demonstration dataset under its fingerprint key.
+  const std::string dataset_path = sim::dataset_cache_path(options);
   il::Dataset dataset;
-  if (dataset.load(options.dataset_cache_path)) {
+  if (dataset.load(dataset_path)) {
     std::printf("loaded %zu cached samples from %s\n", dataset.size(),
-                options.dataset_cache_path.c_str());
+                dataset_path.c_str());
   } else {
     std::printf("recording %d expert episodes...\n", options.expert.episodes);
     sim::ExpertRecorder recorder(options.expert, options.policy);
@@ -35,8 +105,15 @@ int main(int argc, char** argv) {
                 "%d/%d episodes parked\n",
                 stats.samples, stats.forward_samples, stats.reverse_samples,
                 stats.episodes_succeeded, stats.episodes_run);
-    dataset.save(options.dataset_cache_path);
+    dataset.save(dataset_path);
   }
+
+  // Dataset composition by scenario family (curriculum provenance).
+  std::printf("\nsamples by scenario family:\n");
+  for (const auto& [family, count] : dataset.family_histogram())
+    std::printf("  %-20s %6zu (%4.1f%%)\n", family.c_str(), count,
+                100.0 * static_cast<double>(count) /
+                    static_cast<double>(dataset.size()));
 
   // Dataset composition (the paper reports forward/reverse counts).
   const auto hist = dataset.class_histogram(il::ActionDiscretizer::num_classes());
@@ -64,7 +141,8 @@ int main(int argc, char** argv) {
   std::printf("\nfinal validation accuracy: %.3f (%zu train / %zu val samples)\n",
               report.final_val_accuracy, report.train_samples,
               report.val_samples);
-  if (policy.save(options.cache_path))
-    std::printf("saved policy to %s\n", options.cache_path.c_str());
+  const std::string policy_path = sim::policy_cache_path(options);
+  if (policy.save(policy_path))
+    std::printf("saved policy to %s\n", policy_path.c_str());
   return 0;
 }

@@ -30,10 +30,10 @@ bool ObbSet::any_overlap(const Obb& query) const {
 
 double ObbSet::min_distance(const Obb& query, double cutoff) const {
   const Aabb qbb = query.aabb();
-  double best = std::numeric_limits<double>::infinity();
+  double best = cutoff;
   for (std::size_t i = 0; i < boxes_.size(); ++i) {
     const double bound = aabb_distance(qbb, aabbs_[i]);
-    if (bound >= best || bound >= cutoff) continue;
+    if (bound >= best) continue;
     best = std::min(best, obb_distance(query, boxes_[i]));
   }
   return best;

@@ -1,12 +1,17 @@
 #pragma once
 
-#include <limits>
 #include <vector>
 
 #include "geom/aabb.hpp"
 #include "geom/obb.hpp"
 
 namespace icoil::geom {
+
+/// "Nothing within range" distance sentinel: ObbSet::min_distance clamps its
+/// result to the query cutoff, and clearance-style queries pass this value
+/// so "no obstacle observed" never leaks an unbounded +inf into downstream
+/// statistics. Aggregators filter out values >= this sentinel.
+inline constexpr double kMaxClearance = 1e9;
 
 /// Broad-phase accelerated set of oriented boxes: caches each box's AABB at
 /// build time so overlap and distance queries can prune with cheap
@@ -35,10 +40,10 @@ class ObbSet {
 
   /// Minimum distance from `query` to the set; `cutoff` (and every distance
   /// found so far) prunes members whose AABB lower bound cannot improve on
-  /// it. Returns +inf for an empty set or when nothing beats `cutoff`.
-  double min_distance(
-      const Obb& query,
-      double cutoff = std::numeric_limits<double>::infinity()) const;
+  /// it. The result is clamped to `cutoff`: an empty set or a fully pruned
+  /// query returns exactly `cutoff` (the "nothing within range" sentinel),
+  /// never +inf, so callers can seed further min-searches with it safely.
+  double min_distance(const Obb& query, double cutoff = kMaxClearance) const;
 
  private:
   std::vector<Obb> boxes_;

@@ -7,11 +7,58 @@
 
 namespace icoil::il {
 
+void Dataset::append(const Dataset& other) {
+  std::vector<std::int16_t> remap(other.family_names_.size(), -1);
+  for (std::size_t i = 0; i < other.family_names_.size(); ++i)
+    remap[i] = static_cast<std::int16_t>(intern_family(other.family_names_[i]));
+  samples_.reserve(samples_.size() + other.samples_.size());
+  for (const Sample& s : other.samples_) {
+    Sample copy = s;
+    copy.family =
+        (s.family >= 0 &&
+         static_cast<std::size_t>(s.family) < remap.size())
+            ? remap[static_cast<std::size_t>(s.family)]
+            : std::int16_t{-1};
+    samples_.push_back(std::move(copy));
+  }
+}
+
+int Dataset::intern_family(const std::string& name) {
+  for (std::size_t i = 0; i < family_names_.size(); ++i)
+    if (family_names_[i] == name) return static_cast<int>(i);
+  family_names_.push_back(name);
+  return static_cast<int>(family_names_.size()) - 1;
+}
+
+const std::string& Dataset::family_name(int index) const {
+  static const std::string kUnknown = "unknown";
+  if (index < 0 || static_cast<std::size_t>(index) >= family_names_.size())
+    return kUnknown;
+  return family_names_[static_cast<std::size_t>(index)];
+}
+
 std::vector<std::size_t> Dataset::class_histogram(int num_classes) const {
   std::vector<std::size_t> hist(static_cast<std::size_t>(num_classes), 0);
   for (const Sample& s : samples_)
     if (s.label >= 0 && s.label < num_classes) ++hist[static_cast<std::size_t>(s.label)];
   return hist;
+}
+
+std::map<std::string, std::size_t> Dataset::family_histogram() const {
+  std::map<std::string, std::size_t> hist;
+  for (const Sample& s : samples_) ++hist[family_name(s.family)];
+  return hist;
+}
+
+Dataset Dataset::filter_family(const std::string& name) const {
+  Dataset out;
+  for (const Sample& s : samples_) {
+    if (family_name(s.family) != name) continue;
+    Sample copy = s;
+    copy.family = static_cast<std::int16_t>(out.intern_family(name));
+    out.add(std::move(copy));
+  }
+  return out;
 }
 
 void Dataset::shuffle(math::Rng& rng) {
@@ -23,6 +70,8 @@ std::pair<Dataset, Dataset> Dataset::split(double validation_fraction) const {
       static_cast<double>(samples_.size()) * validation_fraction);
   const std::size_t train_count = samples_.size() - val_count;
   Dataset train, val;
+  train.family_names_ = family_names_;
+  val.family_names_ = family_names_;
   train.reserve(train_count);
   val.reserve(val_count);
   for (std::size_t i = 0; i < samples_.size(); ++i)
@@ -49,7 +98,9 @@ std::pair<nn::Tensor, std::vector<int>> Dataset::make_batch(std::size_t begin,
 }
 
 namespace {
-constexpr std::uint32_t kDatasetMagic = 0x1C011D5Eu;
+// v1 files predate per-sample provenance; load() still accepts them.
+constexpr std::uint32_t kDatasetMagicV1 = 0x1C011D5Eu;
+constexpr std::uint32_t kDatasetMagicV2 = 0x1C011D5Fu;
 
 // The speed channel holds values in [-1, 1]; map [-1,1] -> [0,255].
 std::uint8_t quantize(float v) {
@@ -69,14 +120,23 @@ bool Dataset::save(const std::string& path) const {
       samples_.empty() ? 0 : static_cast<std::uint32_t>(samples_[0].observation.channels());
   const std::uint32_t size =
       samples_.empty() ? 0 : static_cast<std::uint32_t>(samples_[0].observation.size());
-  f.write(reinterpret_cast<const char*>(&kDatasetMagic), sizeof(kDatasetMagic));
+  f.write(reinterpret_cast<const char*>(&kDatasetMagicV2), sizeof(kDatasetMagicV2));
   f.write(reinterpret_cast<const char*>(&n), sizeof(n));
   f.write(reinterpret_cast<const char*>(&channels), sizeof(channels));
   f.write(reinterpret_cast<const char*>(&size), sizeof(size));
+  const std::uint32_t families = static_cast<std::uint32_t>(family_names_.size());
+  f.write(reinterpret_cast<const char*>(&families), sizeof(families));
+  for (const std::string& name : family_names_) {
+    const std::uint32_t len = static_cast<std::uint32_t>(name.size());
+    f.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    f.write(name.data(), static_cast<std::streamsize>(name.size()));
+  }
   std::vector<std::uint8_t> buffer;
   for (const Sample& s : samples_) {
     const std::int32_t label = s.label;
     f.write(reinterpret_cast<const char*>(&label), sizeof(label));
+    f.write(reinterpret_cast<const char*>(&s.family), sizeof(s.family));
+    f.write(reinterpret_cast<const char*>(&s.difficulty), sizeof(s.difficulty));
     buffer.resize(s.observation.num_values());
     for (std::size_t i = 0; i < buffer.size(); ++i)
       buffer[i] = quantize(s.observation.data()[i]);
@@ -94,24 +154,50 @@ bool Dataset::load(const std::string& path) {
   f.read(reinterpret_cast<char*>(&n), sizeof(n));
   f.read(reinterpret_cast<char*>(&channels), sizeof(channels));
   f.read(reinterpret_cast<char*>(&size), sizeof(size));
-  if (magic != kDatasetMagic || !f) return false;
+  if ((magic != kDatasetMagicV1 && magic != kDatasetMagicV2) || !f) return false;
+  const bool has_provenance = magic == kDatasetMagicV2;
+
+  std::vector<std::string> families;
+  if (has_provenance) {
+    std::uint32_t count = 0;
+    f.read(reinterpret_cast<char*>(&count), sizeof(count));
+    if (!f || count > 0xFFFF) return false;
+    families.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint32_t len = 0;
+      f.read(reinterpret_cast<char*>(&len), sizeof(len));
+      if (!f || len > 4096) return false;
+      std::string name(len, '\0');
+      f.read(name.data(), static_cast<std::streamsize>(len));
+      if (!f) return false;
+      families.push_back(std::move(name));
+    }
+  }
+
   std::vector<Sample> loaded;
   loaded.reserve(n);
   std::vector<std::uint8_t> buffer(static_cast<std::size_t>(channels) * size * size);
   for (std::uint32_t i = 0; i < n; ++i) {
     std::int32_t label = 0;
     f.read(reinterpret_cast<char*>(&label), sizeof(label));
+    Sample s;
+    if (has_provenance) {
+      f.read(reinterpret_cast<char*>(&s.family), sizeof(s.family));
+      f.read(reinterpret_cast<char*>(&s.difficulty), sizeof(s.difficulty));
+    }
     f.read(reinterpret_cast<char*>(buffer.data()),
            static_cast<std::streamsize>(buffer.size()));
     if (!f) return false;
-    Sample s;
     s.observation = sense::BevImage(static_cast<int>(channels), static_cast<int>(size));
     for (std::size_t j = 0; j < buffer.size(); ++j)
       s.observation.data()[j] = dequantize(buffer[j]);
     s.label = label;
+    if (s.family >= 0 && static_cast<std::size_t>(s.family) >= families.size())
+      s.family = -1;
     loaded.push_back(std::move(s));
   }
   samples_ = std::move(loaded);
+  family_names_ = std::move(families);
   return true;
 }
 

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace icoil::math {
+
+/// Streaming 64-bit FNV-1a hash. The training-spec fingerprints (curriculum
+/// -> dataset -> policy) chain through this one implementation, so cache
+/// keys stay stable across the call sites that extend each other's hashes.
+class Fnv1a {
+ public:
+  Fnv1a() = default;
+  /// Continue an existing hash chain (e.g. extend a curriculum fingerprint
+  /// with recorder and network parameters).
+  explicit Fnv1a(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t value() const { return state_; }
+
+  void add_bytes(const void* data, std::size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      state_ ^= p[i];
+      state_ *= kPrime;
+    }
+  }
+  void add_int(std::int64_t v) { add_bytes(&v, sizeof(v)); }
+  void add_double(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    add_bytes(&bits, sizeof(bits));
+  }
+  /// Length-prefixed, so ("ab","c") and ("a","bc") hash differently.
+  void add_string(const std::string& s) {
+    add_int(static_cast<std::int64_t>(s.size()));
+    add_bytes(s.data(), s.size());
+  }
+
+ private:
+  static constexpr std::uint64_t kPrime = 0x100000001B3ull;
+
+  std::uint64_t state_ = 0xCBF29CE484222325ull;
+};
+
+}  // namespace icoil::math

@@ -1,0 +1,163 @@
+#include "sim/curriculum.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "mathkit/fnv.hpp"
+#include "world/generators/registry.hpp"
+
+namespace icoil::sim {
+
+world::ScenarioOptions CurriculumEntry::options() const {
+  world::ScenarioOptions opt;
+  opt.generator = generator;
+  opt.params = params;
+  opt.difficulty = difficulty;
+  opt.start_class = start_class;
+  opt.num_obstacles_override = num_obstacles_override;
+  opt.time_limit = time_limit;
+  return opt;
+}
+
+std::string CurriculumEntry::label() const {
+  return generator + "/" + world::to_string(difficulty);
+}
+
+std::vector<int> Curriculum::episode_counts(int episodes) const {
+  std::vector<int> counts(entries.size(), 0);
+  if (entries.empty() || episodes <= 0) return counts;
+  double total_weight = 0.0;
+  for (const CurriculumEntry& e : entries) total_weight += std::max(0.0, e.weight);
+  if (total_weight <= 0.0) {
+    // Degenerate weights: fall back to a uniform split.
+    for (std::size_t i = 0; i < counts.size(); ++i)
+      counts[i] = episodes / static_cast<int>(entries.size()) +
+                  (static_cast<int>(i) <
+                           episodes % static_cast<int>(entries.size())
+                       ? 1
+                       : 0);
+    return counts;
+  }
+
+  // Largest-remainder apportionment: floor quotas, then hand the leftover
+  // episodes to the largest fractional remainders (ties -> earlier entries).
+  std::vector<double> remainder(entries.size());
+  int assigned = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const double quota =
+        episodes * std::max(0.0, entries[i].weight) / total_weight;
+    counts[i] = static_cast<int>(quota);
+    remainder[i] = quota - counts[i];
+    assigned += counts[i];
+  }
+  std::vector<std::size_t> order(entries.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return remainder[a] > remainder[b];
+  });
+  for (int leftover = episodes - assigned; leftover > 0; --leftover)
+    ++counts[order[static_cast<std::size_t>(episodes - assigned - leftover)]];
+  return counts;
+}
+
+std::vector<int> Curriculum::assignments(int episodes) const {
+  std::vector<int> out;
+  if (episodes <= 0) return out;
+  out.reserve(static_cast<std::size_t>(episodes));
+  if (entries.empty()) return out;
+
+  const std::vector<int> counts = episode_counts(episodes);
+  // Quota interleaving: at episode ep, pick the entry furthest behind its
+  // running quota counts[i] * (ep + 1) / episodes. Deterministic, sums to
+  // exactly `counts`, and mixes families from the first episodes onward.
+  std::vector<int> given(entries.size(), 0);
+  for (int ep = 0; ep < episodes; ++ep) {
+    int pick = -1;
+    double best_deficit = -1.0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (given[i] >= counts[i]) continue;
+      const double quota = static_cast<double>(counts[i]) * (ep + 1) / episodes;
+      const double deficit = quota - given[i];
+      if (deficit > best_deficit) {
+        best_deficit = deficit;
+        pick = static_cast<int>(i);
+      }
+    }
+    out.push_back(pick < 0 ? 0 : pick);
+    if (pick >= 0) ++given[static_cast<std::size_t>(pick)];
+  }
+  return out;
+}
+
+std::uint64_t Curriculum::fingerprint() const {
+  math::Fnv1a h;
+  h.add_int(static_cast<std::int64_t>(entries.size()));
+  for (const CurriculumEntry& e : entries) {
+    h.add_string(e.generator);
+    h.add_int(static_cast<std::int64_t>(e.difficulty));
+    h.add_int(static_cast<std::int64_t>(e.start_class));
+    h.add_int(static_cast<std::int64_t>(e.params.values().size()));
+    for (const auto& [key, value] : e.params.values()) {
+      h.add_string(key);
+      h.add_double(value);
+    }
+    h.add_int(e.num_obstacles_override);
+    h.add_double(e.time_limit);
+    h.add_double(e.weight);
+  }
+  return h.value();
+}
+
+Curriculum Curriculum::canonical() {
+  Curriculum c;
+  c.name = "canonical";
+  c.entries.push_back(CurriculumEntry{});
+  return c;
+}
+
+Curriculum Curriculum::all_families() {
+  Curriculum c = for_generators(world::GeneratorRegistry::instance().names());
+  c.name = "all";
+  return c;
+}
+
+Curriculum Curriculum::for_generators(
+    const std::vector<std::string>& generators) {
+  Curriculum c;
+  c.name = "custom";
+  for (const std::string& g : generators) {
+    if (world::GeneratorRegistry::instance().find(g) == nullptr) {
+      std::string known;
+      for (const std::string& n : world::GeneratorRegistry::instance().names())
+        known += (known.empty() ? "" : ", ") + n;
+      throw std::invalid_argument("Curriculum: unknown generator \"" + g +
+                                  "\" (known: " + known + ")");
+    }
+    CurriculumEntry e;
+    e.generator = g;
+    c.entries.push_back(std::move(e));
+  }
+  return c;
+}
+
+Curriculum Curriculum::parse(const std::string& spec) {
+  if (spec.empty() || spec == "canonical") return canonical();
+  if (spec == "all") return all_families();
+  std::vector<std::string> names;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    if (end > start) names.push_back(spec.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (names.empty())
+    throw std::invalid_argument("Curriculum: empty spec \"" + spec + "\"");
+  Curriculum c = for_generators(names);
+  c.name = spec;
+  return c;
+}
+
+}  // namespace icoil::sim

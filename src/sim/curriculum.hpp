@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "world/scenario.hpp"
+
+namespace icoil::sim {
+
+/// One weighted cell of a training curriculum: a scenario family pinned to a
+/// difficulty / start class / parameter set, plus the share of expert
+/// episodes it should receive relative to the other entries.
+struct CurriculumEntry {
+  std::string generator = "canonical";
+  world::Difficulty difficulty = world::Difficulty::kEasy;
+  world::StartClass start_class = world::StartClass::kRandom;
+  world::GeneratorParams params;
+  int num_obstacles_override = -1;  ///< -1 = level default
+  double time_limit = 60.0;
+  double weight = 1.0;  ///< episode share (relative to the sum of weights)
+
+  /// The ScenarioOptions this entry expands to.
+  world::ScenarioOptions options() const;
+  /// "generator/difficulty" display label.
+  std::string label() const;
+};
+
+/// A training curriculum: the list of weighted scenario cells the expert
+/// recorder draws demonstration episodes from. Episode->entry assignment is
+/// deterministic (largest-remainder quotas, quota-interleaved), so a
+/// curriculum + episode count fully determines which scenario family every
+/// episode uses — datasets are reproducible and cacheable by fingerprint.
+class Curriculum {
+ public:
+  std::string name = "canonical";
+  std::vector<CurriculumEntry> entries;
+
+  bool empty() const { return entries.empty(); }
+  std::size_t size() const { return entries.size(); }
+
+  /// Exact per-entry episode counts for a run of `episodes` episodes:
+  /// largest-remainder apportionment of the weights (ties favour earlier
+  /// entries). Zero-filled when the curriculum is empty.
+  std::vector<int> episode_counts(int episodes) const;
+
+  /// Entry index for every episode of a run of `episodes` episodes. The
+  /// counts come from episode_counts() and families are interleaved by
+  /// running quota, so short prefixes of a long run already mix families.
+  std::vector<int> assignments(int episodes) const;
+
+  /// Order-sensitive 64-bit FNV-1a hash of the entry list (generator,
+  /// difficulty, start class, params, overrides, weight). The name is
+  /// display-only and excluded, so equal specs share caches.
+  std::uint64_t fingerprint() const;
+
+  /// The pre-curriculum recorder behaviour: a single canonical/easy cell.
+  static Curriculum canonical();
+
+  /// One easy-difficulty cell per registered generator family, equal weight.
+  static Curriculum all_families();
+
+  /// One easy-difficulty cell per named generator, equal weight. Throws
+  /// std::invalid_argument on a name the registry does not know.
+  static Curriculum for_generators(const std::vector<std::string>& generators);
+
+  /// Parse a CLI-style spec: "all", "canonical", or a comma-separated list
+  /// of generator names ("crowded_lot,parallel_street"). Throws
+  /// std::invalid_argument on an unknown generator name.
+  static Curriculum parse(const std::string& spec);
+};
+
+}  // namespace icoil::sim

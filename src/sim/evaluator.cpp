@@ -9,10 +9,10 @@ namespace icoil::sim {
 
 namespace {
 
-int worker_count(int requested, int jobs) {
+int worker_count(int requested, int jobs, int cap) {
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
   return std::max(1, std::min(requested > 0 ? requested : hw,
-                              std::min(16, jobs)));
+                              std::min(std::max(1, cap), jobs)));
 }
 
 Aggregate aggregate_episodes(const std::vector<EpisodeResult>& results,
@@ -36,7 +36,10 @@ Aggregate aggregate_episodes(const std::vector<EpisodeResult>& results,
         break;
     }
     agg.il_fraction.add(r.il_fraction);
-    if (r.min_clearance < 1e8) agg.min_clearance.add(r.min_clearance);
+    // Episodes that never saw an obstacle keep the sentinel; they carry no
+    // clearance information, so they are excluded from the statistic.
+    if (r.min_clearance < geom::kMaxClearance)
+      agg.min_clearance.add(r.min_clearance);
   }
   return agg;
 }
@@ -61,7 +64,7 @@ std::vector<EpisodeResult> Evaluator::evaluate_detailed(
   };
 
   std::vector<std::thread> pool;
-  const int threads = worker_count(config_.num_threads, n);
+  const int threads = worker_count(config_.num_threads, n, config_.thread_cap);
   for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (auto& th : pool) th.join();
   return results;
@@ -96,8 +99,8 @@ std::vector<SuiteCellResult> Evaluator::evaluate_suite(
   std::atomic<int> next{0};
   std::vector<std::atomic<int>> episodes_left(suite.cells.size());
   for (auto& e : episodes_left) e.store(per_cell);
-  std::atomic<int> cells_done{0};
   std::mutex progress_mutex;
+  int cells_done = 0;  // guarded by progress_mutex
   auto worker = [&] {
     auto controller = factory();
     Simulator sim(config_.sim);
@@ -112,15 +115,19 @@ std::vector<SuiteCellResult> Evaluator::evaluate_suite(
           sim.run(scenario, *controller, seed);
       if (episodes_left[static_cast<std::size_t>(cell)].fetch_sub(1) == 1 &&
           progress) {
-        const int done = cells_done.fetch_add(1) + 1;
+        // The increment must happen under the same lock as the callback:
+        // otherwise two workers finishing cells back-to-back can take the
+        // lock in swapped order and deliver `done` counts out of order.
         const std::lock_guard<std::mutex> lock(progress_mutex);
+        const int done = ++cells_done;
         progress(suite.cells[static_cast<std::size_t>(cell)], done, num_cells);
       }
     }
   };
 
   std::vector<std::thread> pool;
-  const int threads = worker_count(config_.num_threads, total);
+  const int threads =
+      worker_count(config_.num_threads, total, config_.thread_cap);
   for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (auto& th : pool) th.join();
 

@@ -39,7 +39,8 @@ struct SuiteCellResult {
 struct EvalConfig {
   int episodes = 30;
   std::uint64_t base_seed = 1000;
-  int num_threads = 0;  ///< 0 = hardware concurrency (capped at 16)
+  int num_threads = 0;   ///< 0 = hardware concurrency (capped at thread_cap)
+  int thread_cap = 16;   ///< pool-width ceiling; raise it on wide machines
   SimConfig sim;
 };
 

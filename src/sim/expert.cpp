@@ -15,12 +15,16 @@ namespace icoil::sim {
 
 ExpertRecorder::ExpertRecorder(ExpertConfig config,
                                il::IlPolicyConfig policy_config)
-    : config_(config), policy_config_(policy_config) {}
+    : config_(config), policy_config_(policy_config) {
+  if (config_.curriculum.empty()) config_.curriculum = Curriculum::canonical();
+}
 
 il::Dataset ExpertRecorder::record(ExpertStats* stats_out) const {
   // Episodes are independent: record them in parallel, then merge in
   // episode order so the dataset is deterministic regardless of thread
-  // scheduling.
+  // scheduling. The curriculum fixes each episode's scenario cell up front.
+  const std::vector<int> cell_of_episode =
+      config_.curriculum.assignments(config_.episodes);
   std::vector<il::Dataset> episode_data(static_cast<std::size_t>(config_.episodes));
   std::vector<ExpertStats> episode_stats(static_cast<std::size_t>(config_.episodes));
 
@@ -28,12 +32,16 @@ il::Dataset ExpertRecorder::record(ExpertStats* stats_out) const {
   auto worker = [&] {
     for (int ep = next.fetch_add(1); ep < config_.episodes;
          ep = next.fetch_add(1)) {
-      record_episode(ep, episode_data[static_cast<std::size_t>(ep)],
+      const CurriculumEntry& entry =
+          config_.curriculum
+              .entries[static_cast<std::size_t>(cell_of_episode[static_cast<std::size_t>(ep)])];
+      record_episode(ep, entry, episode_data[static_cast<std::size_t>(ep)],
                      episode_stats[static_cast<std::size_t>(ep)]);
     }
   };
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
-  const int threads = std::max(1, std::min({hw, config_.episodes, 16}));
+  const int threads = std::max(
+      1, std::min({hw, config_.episodes, std::max(1, config_.thread_cap)}));
   std::vector<std::thread> pool;
   for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (auto& th : pool) th.join();
@@ -41,20 +49,22 @@ il::Dataset ExpertRecorder::record(ExpertStats* stats_out) const {
   il::Dataset dataset;
   ExpertStats stats;
   for (int ep = 0; ep < config_.episodes; ++ep) {
-    const il::Dataset& d = episode_data[static_cast<std::size_t>(ep)];
-    for (std::size_t i = 0; i < d.size(); ++i) dataset.add(d[i]);
+    dataset.append(episode_data[static_cast<std::size_t>(ep)]);
     const ExpertStats& es = episode_stats[static_cast<std::size_t>(ep)];
     stats.episodes_run += es.episodes_run;
     stats.episodes_succeeded += es.episodes_succeeded;
     stats.samples += es.samples;
     stats.forward_samples += es.forward_samples;
     stats.reverse_samples += es.reverse_samples;
+    for (const auto& [family, count] : es.episodes_by_family)
+      stats.episodes_by_family[family] += count;
   }
   if (stats_out) *stats_out = stats;
   return dataset;
 }
 
-void ExpertRecorder::record_episode(int ep, il::Dataset& dataset,
+void ExpertRecorder::record_episode(int ep, const CurriculumEntry& entry,
+                                    il::Dataset& dataset,
                                     ExpertStats& stats) const {
   const sense::BevSpec bev_spec{policy_config_.bev_size, policy_config_.bev_range};
   const sense::BevRasterizer rasterizer(bev_spec);
@@ -65,12 +75,15 @@ void ExpertRecorder::record_episode(int ep, il::Dataset& dataset,
                                         world::StartClass::kClose,
                                         world::StartClass::kRemote};
   {
-    world::ScenarioOptions options;
-    options.difficulty = world::Difficulty::kEasy;
-    options.start_class =
-        config_.mix_start_classes ? classes[ep % 3] : world::StartClass::kRandom;
+    world::ScenarioOptions options = entry.options();
+    if (config_.mix_start_classes) options.start_class = classes[ep % 3];
     const std::uint64_t seed = config_.base_seed + static_cast<std::uint64_t>(ep);
     const world::Scenario scenario = world::make_scenario(options, seed);
+    const std::int16_t family =
+        static_cast<std::int16_t>(dataset.intern_family(scenario.generator));
+    const std::uint8_t difficulty =
+        static_cast<std::uint8_t>(scenario.difficulty);
+    ++stats.episodes_by_family[scenario.generator];
 
     world::World world(scenario);
     math::Rng rng(seed ^ 0xE4BE27ull);
@@ -100,6 +113,8 @@ void ExpertRecorder::record_episode(int ep, il::Dataset& dataset,
         sample.observation =
             il::make_observation(rasterizer.render(world, state.pose), state.speed);
         sample.label = label;
+        sample.family = family;
+        sample.difficulty = difficulty;
         dataset.add(std::move(sample));
         ++stats.samples;
         if (cmd.reverse)

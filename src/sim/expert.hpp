@@ -1,10 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <string>
 
 #include "co/planner.hpp"
 #include "il/dataset.hpp"
 #include "il/policy.hpp"
+#include "sim/curriculum.hpp"
 #include "world/scenario.hpp"
 
 namespace icoil::sim {
@@ -20,8 +23,16 @@ struct ExpertConfig {
   int frame_stride = 2;      ///< record every k-th frame
   double dt = 0.05;
   co::CoPlannerConfig co;
-  /// Mix of start classes so the dataset covers the whole lot.
+  /// Scenario cells episodes are drawn from (deterministic weighted
+  /// assignment; see Curriculum). Defaults to the canonical/easy-only
+  /// behaviour of the pre-curriculum recorder.
+  Curriculum curriculum = Curriculum::canonical();
+  /// Mix of start classes so the dataset covers the whole lot: when set, the
+  /// per-episode start class cycles random/close/remote regardless of the
+  /// curriculum entry's start_class.
   bool mix_start_classes = true;
+  /// Upper bound on recorder worker threads.
+  int thread_cap = 16;
 };
 
 /// Statistics of a recording run.
@@ -31,12 +42,15 @@ struct ExpertStats {
   std::size_t samples = 0;
   std::size_t forward_samples = 0;
   std::size_t reverse_samples = 0;
+  /// Episodes recorded per scenario family (curriculum composition).
+  std::map<std::string, int> episodes_by_family;
 };
 
-/// Rolls out the CO expert on easy-level scenarios and records
-/// (BEV image, discretized action) pairs into a behaviour-cloning dataset.
-/// The expert executes the discretized command it records (the MPC replans
-/// around discretization error), so closed-loop IL behaviour matches the
+/// Rolls out the CO expert on curriculum-sampled scenarios and records
+/// (BEV image, discretized action) pairs into a behaviour-cloning dataset,
+/// tagging every sample with its scenario family and difficulty. The expert
+/// executes the discretized command it records (the MPC replans around
+/// discretization error), so closed-loop IL behaviour matches the
 /// demonstrations.
 class ExpertRecorder {
  public:
@@ -46,7 +60,8 @@ class ExpertRecorder {
   il::Dataset record(ExpertStats* stats_out = nullptr) const;
 
  private:
-  void record_episode(int ep, il::Dataset& dataset, ExpertStats& stats) const;
+  void record_episode(int ep, const CurriculumEntry& entry,
+                      il::Dataset& dataset, ExpertStats& stats) const;
 
   ExpertConfig config_;
   il::IlPolicyConfig policy_config_;

@@ -25,7 +25,9 @@ struct EpisodeResult {
   Outcome outcome = Outcome::kTimeout;
   double park_time = 0.0;            ///< seconds from start to parked (or end)
   std::size_t frames = 0;
-  double min_clearance = 1e9;        ///< closest approach to any obstacle [m]
+  /// Closest approach to any obstacle [m]; stays at the geom::kMaxClearance
+  /// sentinel when no obstacle was ever within range.
+  double min_clearance = geom::kMaxClearance;
   int mode_switches = 0;             ///< iCOIL CO<->IL transitions
   double il_fraction = 0.0;          ///< fraction of frames driven by IL
   std::vector<FrameRecord> trace;    ///< full trace (empty unless recording)

@@ -1,7 +1,6 @@
 #include "world/world.hpp"
 
 #include <cmath>
-#include <limits>
 
 #include "geom/angles.hpp"
 
@@ -50,7 +49,10 @@ bool World::in_collision(const geom::Obb& footprint) const {
 }
 
 double World::clearance(const geom::Obb& footprint) const {
-  double best = static_set_.min_distance(footprint);
+  // min_distance clamps to the kMaxClearance cutoff, so an obstacle-free
+  // scenario reports the sentinel (not +inf) and the dynamic-obstacle prune
+  // below starts from a finite bound.
+  double best = static_set_.min_distance(footprint, geom::kMaxClearance);
   const geom::Aabb fp_bb = footprint.aabb();
   for (std::size_t i : dynamic_indices_) {
     const geom::Obb box = scenario_.obstacles[i].footprint_at(time_);

@@ -46,7 +46,8 @@ class World {
 
   /// True if `footprint` hits any obstacle or leaves the lot bounds.
   bool in_collision(const geom::Obb& footprint) const;
-  /// Distance from `footprint` to the nearest obstacle (inf if none).
+  /// Distance from `footprint` to the nearest obstacle
+  /// (geom::kMaxClearance when there is none within that range).
   double clearance(const geom::Obb& footprint) const;
 
   /// True when the pose is parked: inside goal tolerance in SE(2).

@@ -4,6 +4,7 @@
 
 #include "geom/aabb.hpp"
 #include "geom/angles.hpp"
+#include "geom/broadphase.hpp"
 #include "geom/obb.hpp"
 #include "geom/pose2.hpp"
 #include "geom/segment.hpp"
@@ -321,6 +322,27 @@ TEST_P(ObbContainsProperty, CentreAndEdgeMidpoints) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomBoxes, ObbContainsProperty, ::testing::Range(0, 25));
+
+// ---------------------------------------------------------------- ObbSet
+
+TEST(ObbSetTest, MinDistanceClampsToCutoff) {
+  const Obb query{{0.0, 0.0}, 0.0, 1.0, 1.0};
+  // Empty set: exactly the cutoff, never +inf.
+  EXPECT_DOUBLE_EQ(ObbSet{}.min_distance(query), kMaxClearance);
+  EXPECT_DOUBLE_EQ(ObbSet{}.min_distance(query, 5.0), 5.0);
+
+  ObbSet set;
+  set.push({{100.0, 0.0}, 0.0, 1.0, 1.0});
+  // The only member is 98 m away; a 5 m cutoff prunes it and the call must
+  // report the cutoff, not +inf.
+  EXPECT_DOUBLE_EQ(set.min_distance(query, 5.0), 5.0);
+  // Within the cutoff the true distance comes back.
+  EXPECT_NEAR(set.min_distance(query, 200.0), 98.0, 1e-9);
+  EXPECT_NEAR(set.min_distance(query), 98.0, 1e-9);
+  // A member inside the cutoff always beats it.
+  set.push({{3.0, 0.0}, 0.0, 1.0, 1.0});
+  EXPECT_NEAR(set.min_distance(query, 5.0), 1.0, 1e-9);
+}
 
 }  // namespace
 }  // namespace icoil::geom

@@ -217,6 +217,62 @@ TEST(EvaluatorTest, SuiteMatchesPerCellEvaluate) {
   }
 }
 
+TEST(EvaluatorTest, SuiteProgressStrictlyIncreasing) {
+  // Regression: the `done` counter used to be incremented before taking the
+  // progress mutex, so two workers finishing cells back-to-back could enter
+  // the lock in swapped order and report counts out of order. With many
+  // cells and wide fan-out, the callback must see 1, 2, ..., N exactly.
+  const core::ControllerFactory factory = [] {
+    return std::make_unique<FixedController>(
+        vehicle::Command{1.0, 0.0, 0.2, false});
+  };
+  ScenarioSuite suite = ScenarioSuite::cross(
+      {"canonical", "perpendicular", "crowded_lot", "parallel_street"},
+      {world::Difficulty::kEasy, world::Difficulty::kNormal,
+       world::Difficulty::kHard},
+      {world::StartClass::kRandom});
+  for (SuiteCell& cell : suite.cells) cell.time_limit = 1.0;
+
+  EvalConfig cfg;
+  cfg.episodes = 2;
+  cfg.num_threads = 8;
+  cfg.thread_cap = 8;
+  std::vector<int> seen;  // appended under the evaluator's progress lock
+  const auto results = Evaluator(cfg).evaluate_suite(
+      factory, suite, "fixed",
+      [&](const SuiteCell&, int completed, int total) {
+        EXPECT_EQ(total, static_cast<int>(suite.cells.size()));
+        seen.push_back(completed);
+      });
+  ASSERT_EQ(results.size(), suite.cells.size());
+  ASSERT_EQ(seen.size(), suite.cells.size());
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    EXPECT_EQ(seen[i], static_cast<int>(i) + 1);
+}
+
+TEST(EvaluatorTest, ThreadCapRespectsConfigAndPreservesResults) {
+  // Raising the cap beyond the old hard-coded 16 must not change outcomes.
+  const core::ControllerFactory factory = [] {
+    return std::make_unique<FixedController>(
+        vehicle::Command{1.0, 0.0, -0.1, false});
+  };
+  world::ScenarioOptions opt;
+  opt.time_limit = 2.0;
+  EvalConfig narrow;
+  narrow.episodes = 6;
+  narrow.num_threads = 1;
+  EvalConfig wide = narrow;
+  wide.num_threads = 0;
+  wide.thread_cap = 64;
+  const auto a = Evaluator(narrow).evaluate_detailed(factory, opt);
+  const auto b = Evaluator(wide).evaluate_detailed(factory, opt);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].outcome, b[i].outcome) << i;
+    EXPECT_DOUBLE_EQ(a[i].min_clearance, b[i].min_clearance) << i;
+  }
+}
+
 TEST(EvaluatorTest, SuiteThreadInvariant) {
   const core::ControllerFactory factory = [] {
     return std::make_unique<FixedController>(
@@ -343,13 +399,16 @@ TEST(PolicyStoreTest, TrainsAndCaches) {
   opts.policy.fc_sizes[1] = 16;
   opts.policy.fc_sizes[2] = 16;
 
-  std::filesystem::remove(opts.cache_path);
-  std::filesystem::remove(opts.dataset_cache_path);
+  // The store keys its caches by training-spec fingerprint.
+  const std::string policy_path = policy_cache_path(opts);
+  const std::string dataset_path = dataset_cache_path(opts);
+  std::filesystem::remove(policy_path);
+  std::filesystem::remove(dataset_path);
 
   const auto first = get_or_train_policy(opts);
   ASSERT_NE(first, nullptr);
-  EXPECT_TRUE(std::filesystem::exists(opts.cache_path));
-  EXPECT_TRUE(std::filesystem::exists(opts.dataset_cache_path));
+  EXPECT_TRUE(std::filesystem::exists(policy_path));
+  EXPECT_TRUE(std::filesystem::exists(dataset_path));
 
   // Second call loads the cache and produces identical outputs.
   const auto second = get_or_train_policy(opts);
