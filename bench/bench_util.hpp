@@ -13,6 +13,7 @@
 
 #include "sim/evaluator.hpp"
 #include "sim/policy_store.hpp"
+#include "sim/report.hpp"
 
 namespace icoil::bench {
 
@@ -26,25 +27,16 @@ inline std::unique_ptr<il::IlPolicy> shared_policy() {
 }
 
 /// Append one per-cell aggregate as a JSON line to the file named by the
-/// BENCH_JSON environment variable; no-op when it is unset. Labels are
-/// harness-controlled identifiers (no escaping needed).
+/// BENCH_JSON environment variable; no-op when it is unset. Goes through the
+/// RunReport JSON writer, so user-settable labels (SuiteCell::label) with
+/// quotes or backslashes stay valid JSON.
 inline void append_bench_json(const std::string& bench, const std::string& cell,
                               const sim::Aggregate& agg) {
   const char* path = std::getenv("BENCH_JSON");
   if (path == nullptr || *path == '\0') return;
   std::ofstream out(path, std::ios::app);
   if (!out) return;
-  out << "{\"bench\":\"" << bench << "\",\"cell\":\"" << cell
-      << "\",\"method\":\"" << agg.method << "\",\"episodes\":" << agg.episodes
-      << ",\"successes\":" << agg.successes
-      << ",\"collisions\":" << agg.collisions
-      << ",\"timeouts\":" << agg.timeouts
-      << ",\"success_ratio\":" << agg.success_ratio()
-      << ",\"park_time_mean\":" << agg.park_time.mean()
-      << ",\"park_time_min\":" << agg.park_time.min()
-      << ",\"park_time_max\":" << agg.park_time.max()
-      << ",\"il_fraction_mean\":" << agg.il_fraction.mean()
-      << ",\"min_clearance_mean\":" << agg.min_clearance.mean() << "}\n";
+  out << sim::aggregate_json_line(bench, cell, agg) << "\n";
 }
 
 /// JSON hook for a whole suite run.

@@ -3,66 +3,12 @@
 // close starts are insensitive to obstacle count; remote and random starts
 // get slower (and noisier) with more obstacles.
 //
-// The 15 (start class x obstacle count) cells form one ScenarioSuite
-// evaluated in a single threaded fan-out through the suite API.
+// Thin wrapper over the shared suite runner — run `bench_suite fig8` for
+// the full option set (reports, baselines, budgets, method selection).
 
-#include <cstdio>
-#include <iostream>
-
-#include "bench_util.hpp"
-#include "core/icoil_controller.hpp"
-#include "mathkit/table.hpp"
-#include "sim/evaluator.hpp"
+#include "suite_runner.hpp"
 
 int main() {
-  using namespace icoil;
-  const auto policy = bench::shared_policy();
-
-  sim::EvalConfig eval_config;
-  eval_config.episodes = bench::episodes_override(15);
-  sim::Evaluator evaluator(eval_config);
-
-  sim::ScenarioSuite suite;
-  suite.name = "fig8";
-  for (auto start : {world::StartClass::kClose, world::StartClass::kRemote,
-                     world::StartClass::kRandom}) {
-    for (int k = 1; k <= 5; ++k) {
-      sim::SuiteCell cell;
-      cell.difficulty = world::Difficulty::kNormal;
-      cell.start_class = start;
-      cell.num_obstacles_override = k;
-      cell.label = world::to_string(start) + "/" + std::to_string(k);
-      suite.add(cell);
-    }
-  }
-
-  const auto results = evaluator.evaluate_suite(
-      [&] {
-        return std::make_unique<core::IcoilController>(core::IcoilConfig{},
-                                                       *policy);
-      },
-      suite, "iCOIL",
-      [](const sim::SuiteCell& cell, int completed, int total) {
-        std::fprintf(stderr, "[fig8] %s done (%d/%d)\n", cell.label.c_str(),
-                     completed, total);
-      });
-  bench::append_bench_json("fig8_sensitivity", results);
-
-  math::TextTable table({"start", "#obstacles", "time mean [s]",
-                         "time std [s]", "success"});
-  for (const sim::SuiteCellResult& r : results) {
-    const sim::Aggregate& agg = r.aggregate;
-    table.add_row({world::to_string(r.cell.start_class),
-                   std::to_string(r.cell.num_obstacles_override),
-                   math::format_double(agg.park_time.mean(), 2),
-                   math::format_double(agg.park_time.stddev(), 2),
-                   math::format_double(100.0 * agg.success_ratio(), 0) + "%"});
-  }
-
-  std::printf("\nFig. 8 — iCOIL parking time vs starting point and obstacle "
-              "count (%d episodes/cell)\n\n",
-              eval_config.episodes);
-  table.print(std::cout);
-  table.save_csv("fig8_sensitivity.csv");
-  return 0;
+  return icoil::bench::run_suite_command("fig8",
+                                         icoil::bench::RunSuiteOptions{});
 }

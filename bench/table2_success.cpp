@@ -3,9 +3,10 @@
 // the easy / normal / hard task levels. We additionally report the pure-CO
 // policy as a reference row (not in the paper's table).
 //
-// The three levels form a ScenarioSuite evaluated per method in one
-// threaded fan-out; seeds match the historical per-level evaluation, so the
-// numbers are unchanged from the pre-suite harness.
+// The default path is a thin wrapper over the shared suite runner — run
+// `bench_suite table2` for the full option set (reports, baselines,
+// budgets). Only the --curriculum-compare experiment lives here, because it
+// evaluates two differently-trained policies side by side.
 //
 // Paper's reported values for comparison:
 //   easy:   iCOIL 26.02/27.21/24.89 94%   | IL 23.65/25.16/22.52 72%
@@ -17,14 +18,8 @@
 #include <iostream>
 #include <vector>
 
-#include "bench_util.hpp"
-#include "core/co_controller.hpp"
-#include "core/icoil_controller.hpp"
-#include "core/il_controller.hpp"
-#include "mathkit/table.hpp"
 #include "sim/curriculum.hpp"
-#include "sim/evaluator.hpp"
-#include "world/generators/registry.hpp"
+#include "suite_runner.hpp"
 
 namespace {
 
@@ -109,74 +104,10 @@ int main(int argc, char** argv) {
       return run_curriculum_compare();
     std::fprintf(stderr,
                  "table2_success: unknown argument \"%s\" "
-                 "(usage: table2_success [--curriculum-compare])\n",
+                 "(usage: table2_success [--curriculum-compare]; see "
+                 "bench_suite table2 for reports/baselines)\n",
                  argv[1]);
     return 2;
   }
-  const auto policy = bench::shared_policy();
-
-  sim::EvalConfig eval_config;
-  eval_config.episodes = bench::episodes_override(50);
-  sim::Evaluator evaluator(eval_config);
-
-  sim::ScenarioSuite suite;
-  suite.name = "table2";
-  for (auto level : {world::Difficulty::kEasy, world::Difficulty::kNormal,
-                     world::Difficulty::kHard}) {
-    sim::SuiteCell cell;
-    cell.difficulty = level;
-    cell.start_class = world::StartClass::kRandom;
-    cell.label = world::to_string(level);
-    suite.add(cell);
-  }
-
-  struct Row {
-    const char* name;
-    core::ControllerFactory factory;
-  };
-  const Row rows[] = {
-      {"iCOIL",
-       [&] {
-         return std::make_unique<core::IcoilController>(core::IcoilConfig{},
-                                                        *policy);
-       }},
-      {"IL [2]",
-       [&] { return std::make_unique<core::IlController>(*policy); }},
-      {"CO (ref)",
-       [&] {
-         return std::make_unique<core::CoController>(co::CoPlannerConfig{},
-                                                     vehicle::VehicleParams{});
-       }},
-  };
-
-  std::vector<std::vector<sim::SuiteCellResult>> per_method;
-  for (const Row& row : rows) {
-    per_method.push_back(evaluator.evaluate_suite(
-        row.factory, suite, row.name,
-        [&](const sim::SuiteCell& cell, int completed, int total) {
-          std::fprintf(stderr, "[table2] %s / %s done (%d/%d)\n",
-                       cell.label.c_str(), row.name, completed, total);
-        }));
-    bench::append_bench_json("table2_success", per_method.back());
-  }
-
-  math::TextTable table({"level", "method", "avg [s]", "max [s]", "min [s]",
-                         "success", "episodes"});
-  for (std::size_t cell = 0; cell < suite.cells.size(); ++cell) {
-    for (std::size_t m = 0; m < per_method.size(); ++m) {
-      const sim::Aggregate& agg = per_method[m][cell].aggregate;
-      table.add_row({suite.cells[cell].label, rows[m].name,
-                     math::format_double(agg.park_time.mean(), 2),
-                     math::format_double(agg.park_time.max(), 2),
-                     math::format_double(agg.park_time.min(), 2),
-                     math::format_double(100.0 * agg.success_ratio(), 0) + "%",
-                     std::to_string(agg.episodes)});
-    }
-  }
-
-  std::printf("\nTable II — parking time and success ratio (%d episodes/cell)\n\n",
-              eval_config.episodes);
-  table.print(std::cout);
-  table.save_csv("table2_success.csv");
-  return 0;
+  return bench::run_suite_command("table2", bench::RunSuiteOptions{});
 }

@@ -2,9 +2,12 @@
 // then batch-evaluates the pure-CO controller across all (generator x
 // difficulty) cells through the ScenarioSuite API. The CO baseline needs no
 // trained policy, so the zoo runs in seconds and is the quickest way to see
-// a new generator behaving end-to-end.
+// a new generator behaving end-to-end. (For reports/baselines over the same
+// suite, use `bench_suite zoo`.)
 //
-// Usage: scenario_zoo [episodes-per-cell]   (default 4)
+// Usage: scenario_zoo [episodes-per-cell] [cell-wall-budget-seconds]
+// (default 4 episodes, no budget). With a budget, episodes a cell cannot
+// finish inside its wall-clock allowance come back as "budget_exceeded".
 
 #include <algorithm>
 #include <cstdio>
@@ -18,7 +21,31 @@
 
 int main(int argc, char** argv) {
   using namespace icoil;
-  const int episodes = argc > 1 ? std::max(1, std::atoi(argv[1])) : 4;
+  int episodes = 4;
+  if (argc > 1) {
+    char* end = nullptr;
+    episodes = static_cast<int>(std::strtol(argv[1], &end, 10));
+    if (end == argv[1] || *end != '\0' || episodes < 1) {
+      std::fprintf(stderr,
+                   "scenario_zoo: \"%s\" is not an episode count "
+                   "(usage: scenario_zoo [episodes] [wall-budget-s])\n",
+                   argv[1]);
+      return 2;
+    }
+  }
+  double wall_budget = 0.0;
+  if (argc > 2) {
+    // Strict parse: a typo must not silently run without a budget.
+    char* end = nullptr;
+    wall_budget = std::strtod(argv[2], &end);
+    if (end == argv[2] || *end != '\0' || wall_budget < 0.0) {
+      std::fprintf(stderr,
+                   "scenario_zoo: \"%s\" is not a budget in seconds "
+                   "(usage: scenario_zoo [episodes] [wall-budget-s])\n",
+                   argv[2]);
+      return 2;
+    }
+  }
 
   const auto& registry = world::GeneratorRegistry::instance();
   std::printf("Registered scenario generators (%zu):\n", registry.size());
@@ -31,6 +58,8 @@ int main(int argc, char** argv) {
       {world::Difficulty::kEasy, world::Difficulty::kNormal},
       {world::StartClass::kRandom});
   suite.name = "zoo";
+  if (wall_budget > 0.0)
+    for (sim::SuiteCell& cell : suite.cells) cell.wall_budget = wall_budget;
 
   sim::EvalConfig eval_config;
   eval_config.episodes = episodes;
@@ -44,12 +73,14 @@ int main(int argc, char** argv) {
       suite, "CO");
 
   math::TextTable table({"generator", "difficulty", "success", "collisions",
-                         "timeouts", "time mean [s]", "clearance [m]"});
+                         "timeouts", "over budget", "time mean [s]",
+                         "clearance [m]"});
   for (const sim::SuiteCellResult& r : results) {
     const sim::Aggregate& agg = r.aggregate;
     table.add_row({r.cell.generator, world::to_string(r.cell.difficulty),
                    math::format_double(100.0 * agg.success_ratio(), 0) + "%",
                    std::to_string(agg.collisions), std::to_string(agg.timeouts),
+                   std::to_string(agg.budget_exceeded),
                    math::format_double(agg.park_time.mean(), 1),
                    math::format_double(agg.min_clearance.mean(), 2)});
   }

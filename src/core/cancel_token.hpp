@@ -1,0 +1,59 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace icoil::core {
+
+/// Cooperative cancellation handle shared between a task submitter and the
+/// code running inside the task. Cancellation has two sources — an explicit
+/// cancel() and an optional wall-clock deadline armed when the first task
+/// holding the token starts — and is advisory: long-running code polls
+/// cancelled() and unwinds on its own schedule. Self-contained so consumers
+/// that only poll (e.g. the simulator loop) need none of the pool machinery.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once cancel() was called or an armed deadline has passed.
+  bool cancelled() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const std::int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline == 0) return false;
+    if (std::chrono::steady_clock::now().time_since_epoch().count() < deadline)
+      return false;
+    cancelled_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Arms the wall-clock deadline `budget_seconds` from now — once: later
+  /// calls keep the first deadline, so a token shared by a group of tasks
+  /// (e.g. every episode of one suite cell) starts its budget when the
+  /// group's first task starts. `budget_seconds <= 0` never arms.
+  void arm_deadline_once(double budget_seconds) noexcept {
+    if (budget_seconds <= 0.0) return;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(budget_seconds));
+    std::int64_t expected = 0;
+    deadline_ns_.compare_exchange_strong(
+        expected, deadline.time_since_epoch().count(),
+        std::memory_order_relaxed);
+  }
+
+  bool deadline_armed() const noexcept {
+    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+  }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};  ///< steady_clock ns; 0 = none
+};
+
+}  // namespace icoil::core

@@ -1,0 +1,84 @@
+#include "core/task_pool.hpp"
+
+#include <utility>
+
+namespace icoil::core {
+
+TaskPool::TaskPool(int workers)
+    : default_token_(std::make_shared<CancelToken>()) {
+  const int n = std::max(1, workers);
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t)
+    threads_.emplace_back([this, t] { worker_loop(t); });
+}
+
+TaskPool::~TaskPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& th : threads_) th.join();
+}
+
+void TaskPool::submit(Task task) {
+  submit(std::move(task), default_token_, 0.0);
+}
+
+void TaskPool::submit(Task task, double budget_seconds) {
+  submit(std::move(task), std::make_shared<CancelToken>(), budget_seconds);
+}
+
+void TaskPool::submit(Task task, std::shared_ptr<CancelToken> token,
+                      double budget_seconds) {
+  if (!token) token = default_token_;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back({std::move(task), std::move(token), budget_seconds});
+  }
+  work_cv_.notify_one();
+}
+
+void TaskPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void TaskPool::worker_loop(int index) {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;  // queued-but-unstarted tasks are dropped on stop
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+
+    // The budget clock starts when the task starts, not when it was queued.
+    item.token->arm_deadline_once(item.budget_seconds);
+    Context ctx;
+    ctx.worker = index;
+    ctx.token = item.token.get();
+    try {
+      item.task(ctx);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace icoil::core

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/cancel_token.hpp"
+
+namespace icoil::core {
+
+/// Persistent shared-queue worker pool: the one execution runtime behind the
+/// evaluator, the expert recorder and the IL trainer. Workers pull tasks
+/// FIFO from a single queue (a slow task never serializes the rest), each
+/// task sees a stable worker index (for per-worker state such as controller
+/// clones) and a CancelToken that trips when the task's wall-clock budget
+/// runs out. wait_idle() is the barrier between submission waves, so one
+/// pool can serve many rounds (e.g. one per training batch).
+class TaskPool {
+ public:
+  /// What a running task gets to see.
+  struct Context {
+    int worker = 0;             ///< stable worker index in [0, size())
+    const CancelToken* token = nullptr;  ///< never null inside a task
+    bool cancelled() const { return token->cancelled(); }
+  };
+  using Task = std::function<void(const Context&)>;
+
+  /// The one canonical pool-sizing rule (previously copied, with drift,
+  /// into evaluator/expert/trainer): an explicit `requested` width wins;
+  /// otherwise hardware concurrency bounded by `cap` (the cap tames the
+  /// hardware-derived default, it does not override a deliberate request).
+  /// Either way never wider than `jobs`, and always at least one.
+  static int recommended_workers(int requested, int jobs, int cap) {
+    const int hw =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+    const int width =
+        requested > 0 ? requested : std::min(hw, std::max(1, cap));
+    return std::max(1, std::min(width, std::max(1, jobs)));
+  }
+
+  explicit TaskPool(int workers);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueue a task. With `budget_seconds > 0` the token's deadline is
+  /// armed when a worker picks the task up (not at submission), so queue
+  /// wait does not eat the budget. A shared `token` lets several tasks form
+  /// one cancellation group with one collective budget.
+  void submit(Task task);
+  void submit(Task task, double budget_seconds);
+  void submit(Task task, std::shared_ptr<CancelToken> token,
+              double budget_seconds = 0.0);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any task threw (if one did). The pool is reusable
+  /// afterwards.
+  void wait_idle();
+
+ private:
+  struct Item {
+    Task task;
+    std::shared_ptr<CancelToken> token;
+    double budget_seconds = 0.0;
+  };
+
+  void worker_loop(int index);
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< workers: queue non-empty or stop
+  std::condition_variable idle_cv_;   ///< wait_idle: queue drained
+  std::deque<Item> queue_;            ///< guarded by mutex_
+  std::size_t in_flight_ = 0;         ///< guarded by mutex_
+  bool stop_ = false;                 ///< guarded by mutex_
+  std::exception_ptr first_error_;    ///< guarded by mutex_
+  std::shared_ptr<CancelToken> default_token_;  ///< for budget-less tasks
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace icoil::core

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <thread>
 
+#include "core/task_pool.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
 
@@ -47,13 +47,18 @@ TrainReport Trainer::train(IlPolicy& policy, const Dataset& dataset,
   report.val_samples = val_set.size();
   if (train_set.empty()) return report;
 
-  const int hw = static_cast<int>(std::thread::hardware_concurrency());
-  const int threads = std::max(
-      1, config_.num_threads > 0 ? config_.num_threads : std::min(hw, 8));
+  const int threads = core::TaskPool::recommended_workers(
+      config_.num_threads, static_cast<int>(train_set.size()),
+      config_.thread_cap);
 
-  // Worker clones: each thread needs its own activation caches.
+  // Worker clones: each gradient shard needs its own activation caches.
   std::vector<std::unique_ptr<IlPolicy>> workers;
   for (int t = 0; t < threads; ++t) workers.push_back(policy.clone());
+
+  // One persistent pool for the whole training run; wait_idle() is the
+  // per-batch barrier (the old code spawned and joined a fresh thread set
+  // for every batch).
+  core::TaskPool pool(threads);
 
   const auto main_params = policy.network().params();
   nn::Adam optimizer(main_params, config_.learning_rate);
@@ -78,9 +83,10 @@ TrainReport Trainer::train(IlPolicy& policy, const Dataset& dataset,
 
       policy.network().zero_grad();
       std::vector<ShardResult> results(static_cast<std::size_t>(active));
-      std::vector<std::thread> pool;
       for (int t = 0; t < active; ++t) {
-        pool.emplace_back([&, t] {
+        // Shards are keyed by shard index (not pool worker index): clones
+        // outnumber concurrent shards, so any worker may run any shard.
+        pool.submit([&, t](const core::TaskPool::Context&) {
           IlPolicy& w = *workers[static_cast<std::size_t>(t)];
           copy_params(main_params, w.network().params());
           w.network().zero_grad();
@@ -99,7 +105,7 @@ TrainReport Trainer::train(IlPolicy& policy, const Dataset& dataset,
               static_cast<double>(n);
         });
       }
-      for (auto& th : pool) th.join();
+      pool.wait_idle();
 
       // Average the shard gradients (each shard's CE already divides by its
       // own size, so reweight by shard/batch).

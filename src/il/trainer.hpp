@@ -18,6 +18,10 @@ struct TrainConfig {
   std::uint64_t shuffle_seed = 11u;
   /// Worker threads for data-parallel gradient computation (0 = hardware).
   int num_threads = 0;
+  /// Upper bound on the hardware-derived default worker count (gradient
+  /// shards stop paying off beyond a handful of workers at these batch
+  /// sizes). An explicit num_threads request is honoured above the cap.
+  int thread_cap = 8;
 };
 
 struct EpochStats {

@@ -1,19 +1,32 @@
 #include "sim/evaluator.hpp"
 
-#include <algorithm>
 #include <atomic>
+#include <memory>
 #include <mutex>
-#include <thread>
+#include <stdexcept>
+
+#include "core/task_pool.hpp"
 
 namespace icoil::sim {
 
 namespace {
 
-int worker_count(int requested, int jobs, int cap) {
-  const int hw = static_cast<int>(std::thread::hardware_concurrency());
-  return std::max(1, std::min(requested > 0 ? requested : hw,
-                              std::min(std::max(1, cap), jobs)));
+/// Per-worker evaluation state: controllers are stateful and policies cache
+/// activations, so every pool worker drives its own controller clone
+/// (created lazily on the worker's first episode).
+struct WorkerState {
+  std::unique_ptr<core::Controller> controller;
+};
+
+core::Controller& worker_controller(std::vector<WorkerState>& states,
+                                    const core::TaskPool::Context& ctx,
+                                    const core::ControllerFactory& factory) {
+  WorkerState& state = states[static_cast<std::size_t>(ctx.worker)];
+  if (!state.controller) state.controller = factory();
+  return *state.controller;
 }
+
+}  // namespace
 
 Aggregate aggregate_episodes(const std::vector<EpisodeResult>& results,
                              const std::string& method,
@@ -34,6 +47,9 @@ Aggregate aggregate_episodes(const std::vector<EpisodeResult>& results,
       case Outcome::kTimeout:
         ++agg.timeouts;
         break;
+      case Outcome::kBudgetExceeded:
+        ++agg.budget_exceeded;
+        break;
     }
     agg.il_fraction.add(r.il_fraction);
     // Episodes that never saw an obstacle keep the sentinel; they carry no
@@ -44,29 +60,29 @@ Aggregate aggregate_episodes(const std::vector<EpisodeResult>& results,
   return agg;
 }
 
-}  // namespace
-
 std::vector<EpisodeResult> Evaluator::evaluate_detailed(
     const core::ControllerFactory& factory,
     const world::ScenarioOptions& options) const {
   const int n = config_.episodes;
   std::vector<EpisodeResult> results(static_cast<std::size_t>(n));
 
-  std::atomic<int> next{0};
-  auto worker = [&] {
-    auto controller = factory();
-    Simulator sim(config_.sim);
-    for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-      const std::uint64_t seed = config_.base_seed + static_cast<std::uint64_t>(i);
+  // Everything tasks capture must outlive the pool: the pool is declared
+  // LAST so an exception mid-submit joins the workers before any of it is
+  // torn down.
+  std::vector<WorkerState> states(
+      static_cast<std::size_t>(resolved_workers(n)));
+  const Simulator sim(config_.sim);
+  core::TaskPool pool(static_cast<int>(states.size()));
+  for (int i = 0; i < n; ++i) {
+    pool.submit([&, i](const core::TaskPool::Context& ctx) {
+      const std::uint64_t seed =
+          config_.base_seed + static_cast<std::uint64_t>(i);
       const world::Scenario scenario = world::make_scenario(options, seed);
-      results[static_cast<std::size_t>(i)] = sim.run(scenario, *controller, seed);
-    }
-  };
-
-  std::vector<std::thread> pool;
-  const int threads = worker_count(config_.num_threads, n, config_.thread_cap);
-  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
+      results[static_cast<std::size_t>(i)] =
+          sim.run(scenario, worker_controller(states, ctx, factory), seed);
+    });
+  }
+  pool.wait_idle();
   return results;
 }
 
@@ -77,68 +93,110 @@ Aggregate Evaluator::evaluate(const core::ControllerFactory& factory,
                             world::to_string(options.difficulty));
 }
 
-std::vector<SuiteCellResult> Evaluator::evaluate_suite(
+std::vector<SuiteCellEpisodes> Evaluator::evaluate_suite_detailed(
     const core::ControllerFactory& factory, const ScenarioSuite& suite,
-    const std::string& method_label, const SuiteProgress& progress) const {
+    const SuiteProgress& progress) const {
   const int per_cell = config_.episodes;
+  if (per_cell <= 0)
+    throw std::invalid_argument(
+        "Evaluator::evaluate_suite: config.episodes must be positive (got " +
+        std::to_string(per_cell) + ") — an empty run is always a bug upstream");
   const int num_cells = static_cast<int>(suite.cells.size());
-  const int total = per_cell * num_cells;
 
   // Expand every cell's options once up front; workers only read them.
   std::vector<world::ScenarioOptions> options;
   options.reserve(suite.cells.size());
   for (const SuiteCell& cell : suite.cells) options.push_back(cell.options());
 
-  std::vector<std::vector<EpisodeResult>> results(
-      suite.cells.size(),
-      std::vector<EpisodeResult>(static_cast<std::size_t>(per_cell)));
+  std::vector<SuiteCellEpisodes> out(suite.cells.size());
+  for (std::size_t c = 0; c < suite.cells.size(); ++c) {
+    out[c].cell = suite.cells[c];
+    out[c].episodes.resize(static_cast<std::size_t>(per_cell));
+  }
 
   // One shared (cell, episode) job queue: a slow cell (crowded lot, long
   // time limit) never serializes the rest of the suite, and the per-episode
-  // seeds match what a per-cell evaluate() would use.
-  std::atomic<int> next{0};
+  // seeds match what a per-cell evaluate() would use. Every cell's episodes
+  // share one CancelToken, so a positive wall_budget bounds the WHOLE
+  // cell's wall-clock time from its first episode's start.
+  std::vector<std::shared_ptr<core::CancelToken>> cell_tokens;
+  cell_tokens.reserve(suite.cells.size());
+  for (std::size_t c = 0; c < suite.cells.size(); ++c)
+    cell_tokens.push_back(std::make_shared<core::CancelToken>());
+
   std::vector<std::atomic<int>> episodes_left(suite.cells.size());
   for (auto& e : episodes_left) e.store(per_cell);
   std::mutex progress_mutex;
   int cells_done = 0;  // guarded by progress_mutex
-  auto worker = [&] {
-    auto controller = factory();
-    Simulator sim(config_.sim);
-    for (int j = next.fetch_add(1); j < total; j = next.fetch_add(1)) {
-      const int cell = j / per_cell;
-      const int episode = j % per_cell;
-      const std::uint64_t seed =
-          config_.base_seed + static_cast<std::uint64_t>(episode);
-      const world::Scenario scenario =
-          world::make_scenario(options[static_cast<std::size_t>(cell)], seed);
-      results[static_cast<std::size_t>(cell)][static_cast<std::size_t>(episode)] =
-          sim.run(scenario, *controller, seed);
-      if (episodes_left[static_cast<std::size_t>(cell)].fetch_sub(1) == 1 &&
-          progress) {
-        // The increment must happen under the same lock as the callback:
-        // otherwise two workers finishing cells back-to-back can take the
-        // lock in swapped order and deliver `done` counts out of order.
-        const std::lock_guard<std::mutex> lock(progress_mutex);
-        const int done = ++cells_done;
-        progress(suite.cells[static_cast<std::size_t>(cell)], done, num_cells);
-      }
+
+  // Everything tasks capture must outlive the pool: the pool is declared
+  // LAST so an exception mid-submit joins the workers before any of it is
+  // torn down.
+  std::vector<WorkerState> states(
+      static_cast<std::size_t>(resolved_workers(per_cell * num_cells)));
+  const Simulator sim(config_.sim);
+  core::TaskPool pool(static_cast<int>(states.size()));
+
+  for (int cell = 0; cell < num_cells; ++cell) {
+    for (int episode = 0; episode < per_cell; ++episode) {
+      pool.submit(
+          [&, cell, episode](const core::TaskPool::Context& ctx) {
+            EpisodeResult& result =
+                out[static_cast<std::size_t>(cell)]
+                    .episodes[static_cast<std::size_t>(episode)];
+            if (ctx.cancelled()) {
+              // The cell's budget already tripped: skip scenario
+              // construction entirely (matches what sim.run would return
+              // when cancelled before its first frame).
+              result.outcome = Outcome::kBudgetExceeded;
+            } else {
+              const std::uint64_t seed =
+                  config_.base_seed + static_cast<std::uint64_t>(episode);
+              const world::Scenario scenario = world::make_scenario(
+                  options[static_cast<std::size_t>(cell)], seed);
+              result = sim.run(scenario,
+                               worker_controller(states, ctx, factory), seed,
+                               ctx.token);
+            }
+            if (episodes_left[static_cast<std::size_t>(cell)].fetch_sub(1) ==
+                    1 &&
+                progress) {
+              // The increment must happen under the same lock as the
+              // callback: otherwise two workers finishing cells back-to-back
+              // can take the lock in swapped order and deliver `done` counts
+              // out of order.
+              const std::lock_guard<std::mutex> lock(progress_mutex);
+              const int done = ++cells_done;
+              progress(suite.cells[static_cast<std::size_t>(cell)], done,
+                       num_cells);
+            }
+          },
+          cell_tokens[static_cast<std::size_t>(cell)],
+          suite.cells[static_cast<std::size_t>(cell)].wall_budget);
     }
-  };
+  }
+  pool.wait_idle();
+  return out;
+}
 
-  std::vector<std::thread> pool;
-  const int threads =
-      worker_count(config_.num_threads, total, config_.thread_cap);
-  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
-
+std::vector<SuiteCellResult> aggregate_suite(
+    const std::vector<SuiteCellEpisodes>& detailed,
+    const std::string& method_label) {
   std::vector<SuiteCellResult> out;
-  out.reserve(suite.cells.size());
-  for (std::size_t c = 0; c < suite.cells.size(); ++c) {
-    out.push_back({suite.cells[c],
-                   aggregate_episodes(results[c], method_label,
-                                      suite.cells[c].display_label())});
+  out.reserve(detailed.size());
+  for (const SuiteCellEpisodes& cell : detailed) {
+    out.push_back({cell.cell,
+                   aggregate_episodes(cell.episodes, method_label,
+                                      cell.cell.display_label())});
   }
   return out;
+}
+
+std::vector<SuiteCellResult> Evaluator::evaluate_suite(
+    const core::ControllerFactory& factory, const ScenarioSuite& suite,
+    const std::string& method_label, const SuiteProgress& progress) const {
+  return aggregate_suite(evaluate_suite_detailed(factory, suite, progress),
+                         method_label);
 }
 
 }  // namespace icoil::sim

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/task_pool.hpp"
 #include "mathkit/stats.hpp"
 #include "sim/simulator.hpp"
 #include "sim/suite.hpp"
@@ -20,6 +21,7 @@ struct Aggregate {
   int successes = 0;
   int collisions = 0;
   int timeouts = 0;
+  int budget_exceeded = 0;             ///< cut short by a wall-clock budget
   math::RunningStats park_time;        ///< over successful episodes only
   math::RunningStats il_fraction;
   math::RunningStats min_clearance;
@@ -29,18 +31,39 @@ struct Aggregate {
   }
 };
 
+/// Folds per-episode results into one Aggregate (shared by the evaluator,
+/// the bench drivers and the report writer).
+Aggregate aggregate_episodes(const std::vector<EpisodeResult>& results,
+                             const std::string& method,
+                             const std::string& level);
+
 /// One suite cell's outcome: the cell spec plus its episode aggregate.
 struct SuiteCellResult {
   SuiteCell cell;
   Aggregate aggregate;
 };
 
+/// One suite cell's raw per-episode results (seed order).
+struct SuiteCellEpisodes {
+  SuiteCell cell;
+  std::vector<EpisodeResult> episodes;
+};
+
+/// Folds detailed suite results into per-cell aggregates (suite order,
+/// labelled by each cell's display label) — the ONE fold between
+/// evaluate_suite_detailed and every aggregate consumer.
+std::vector<SuiteCellResult> aggregate_suite(
+    const std::vector<SuiteCellEpisodes>& detailed,
+    const std::string& method_label);
+
 /// Batch evaluation settings.
 struct EvalConfig {
   int episodes = 30;
   std::uint64_t base_seed = 1000;
-  int num_threads = 0;   ///< 0 = hardware concurrency (capped at thread_cap)
-  int thread_cap = 16;   ///< pool-width ceiling; raise it on wide machines
+  int num_threads = 0;   ///< explicit worker count; 0 = hardware concurrency
+  /// Ceiling on the hardware-derived default width (num_threads == 0). An
+  /// explicit num_threads request is honoured above the cap.
+  int thread_cap = 16;
   SimConfig sim;
 };
 
@@ -52,6 +75,13 @@ class Evaluator {
   explicit Evaluator(EvalConfig config = {}) : config_(config) {}
 
   const EvalConfig& config() const { return config_; }
+
+  /// The worker count this evaluator's pool will actually use for `jobs`
+  /// tasks — the one source of truth for run-provenance metadata.
+  int resolved_workers(int jobs) const {
+    return core::TaskPool::recommended_workers(config_.num_threads, jobs,
+                                               config_.thread_cap);
+  }
 
   Aggregate evaluate(const core::ControllerFactory& factory,
                      const world::ScenarioOptions& options,
@@ -68,13 +98,23 @@ class Evaluator {
       std::function<void(const SuiteCell& cell, int completed, int total)>;
 
   /// Batch-evaluates `episodes` seeds of EVERY suite cell in one threaded
-  /// fan-out — workers pull (cell, episode) jobs from a shared queue, so a
-  /// slow cell never serializes the others. Per-cell aggregates come back
-  /// in suite order; episode seeds match a per-cell evaluate() call, so
-  /// results are identical to evaluating each cell separately.
+  /// fan-out — workers pull (cell, episode) jobs from a shared core::TaskPool
+  /// queue, so a slow cell never serializes the others. Per-cell aggregates
+  /// come back in suite order; episode seeds match a per-cell evaluate()
+  /// call, so results are identical to evaluating each cell separately.
+  /// Cells with a positive wall_budget report episodes that run past the
+  /// budget as Outcome::kBudgetExceeded. Throws std::invalid_argument when
+  /// config().episodes <= 0 (a silent empty run is always a bug upstream).
   std::vector<SuiteCellResult> evaluate_suite(
       const core::ControllerFactory& factory, const ScenarioSuite& suite,
       const std::string& method_label,
+      const SuiteProgress& progress = nullptr) const;
+
+  /// Same fan-out as evaluate_suite but returning the raw per-episode
+  /// results per cell (for RunReport episode records and distribution
+  /// plots). evaluate_suite is this plus aggregate_episodes per cell.
+  std::vector<SuiteCellEpisodes> evaluate_suite_detailed(
+      const core::ControllerFactory& factory, const ScenarioSuite& suite,
       const SuiteProgress& progress = nullptr) const;
 
  private:

@@ -1,9 +1,8 @@
 #include "sim/expert.hpp"
 
-#include <atomic>
 #include <cmath>
-#include <thread>
 
+#include "core/task_pool.hpp"
 #include "geom/angles.hpp"
 #include "il/action.hpp"
 #include "il/observation.hpp"
@@ -28,23 +27,18 @@ il::Dataset ExpertRecorder::record(ExpertStats* stats_out) const {
   std::vector<il::Dataset> episode_data(static_cast<std::size_t>(config_.episodes));
   std::vector<ExpertStats> episode_stats(static_cast<std::size_t>(config_.episodes));
 
-  std::atomic<int> next{0};
-  auto worker = [&] {
-    for (int ep = next.fetch_add(1); ep < config_.episodes;
-         ep = next.fetch_add(1)) {
+  core::TaskPool pool(core::TaskPool::recommended_workers(
+      /*requested=*/0, config_.episodes, config_.thread_cap));
+  for (int ep = 0; ep < config_.episodes; ++ep) {
+    pool.submit([&, ep](const core::TaskPool::Context&) {
       const CurriculumEntry& entry =
           config_.curriculum
               .entries[static_cast<std::size_t>(cell_of_episode[static_cast<std::size_t>(ep)])];
       record_episode(ep, entry, episode_data[static_cast<std::size_t>(ep)],
                      episode_stats[static_cast<std::size_t>(ep)]);
-    }
-  };
-  const int hw = static_cast<int>(std::thread::hardware_concurrency());
-  const int threads = std::max(
-      1, std::min({hw, config_.episodes, std::max(1, config_.thread_cap)}));
-  std::vector<std::thread> pool;
-  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
+    });
+  }
+  pool.wait_idle();
 
   il::Dataset dataset;
   ExpertStats stats;

@@ -1,0 +1,663 @@
+#include "sim/report.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <sstream>
+#include <utility>
+
+#include "mathkit/fnv.hpp"
+
+#ifndef ICOIL_GIT_DESCRIBE
+#define ICOIL_GIT_DESCRIBE "unknown"
+#endif
+
+namespace icoil::sim {
+
+namespace {
+
+// ------------------------------------------------------------- JSON writer
+
+std::string fmt_double(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string fmt_hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Comma-managed appender for one JSON object/array scope.
+class JsonScope {
+ public:
+  JsonScope(std::string& out, char open, char close)
+      : out_(out), close_(close) {
+    out_.push_back(open);
+  }
+  ~JsonScope() { out_.push_back(close_); }
+
+  std::string& field(const std::string& key) {
+    sep();
+    out_ += '"';
+    out_ += json_escape(key);
+    out_ += "\":";
+    return out_;
+  }
+  std::string& element() {
+    sep();
+    return out_;
+  }
+
+ private:
+  void sep() {
+    if (!first_) out_ += ',';
+    first_ = false;
+  }
+  std::string& out_;
+  char close_;
+  bool first_ = true;
+};
+
+void append_string(std::string& out, const std::string& s) {
+  out += '"';
+  out += json_escape(s);
+  out += '"';
+}
+
+// ------------------------------------------------------------- JSON parser
+//
+// Minimal recursive-descent JSON reader — just enough to load the documents
+// this file writes (objects, arrays, strings with standard escapes, finite
+// numbers, booleans, null). Unknown keys are ignored so old loaders keep
+// working as the schema grows.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool parse(JsonValue* out) {
+    pos_ = 0;
+    if (!parse_value(out)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing content");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& what) {
+    if (error_ && error_->empty())
+      *error_ = "JSON parse error at offset " + std::to_string(pos_) + ": " +
+                what;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(JsonValue* out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return parse_string(&out->string);
+    }
+    if (c == 't' || c == 'f') return parse_keyword(out);
+    if (c == 'n') return parse_keyword(out);
+    return parse_number(out);
+  }
+
+  bool parse_keyword(JsonValue* out) {
+    auto match = [&](const char* kw) {
+      const std::size_t n = std::char_traits<char>::length(kw);
+      if (text_.compare(pos_, n, kw) != 0) return false;
+      pos_ += n;
+      return true;
+    };
+    if (match("true")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (match("false")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return true;
+    }
+    if (match("null")) {
+      out->kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    return fail("unknown keyword");
+  }
+
+  bool parse_number(JsonValue* out) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) return fail("expected a value");
+    // strtod must consume the WHOLE scanned token: a prefix parse would
+    // silently accept merge-mangled numbers like "1..0" as 1.0.
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    out->number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail("malformed number");
+    out->kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return fail("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape");
+          }
+          // UTF-8 encode the code point (surrogate pairs unsupported; our
+          // writer only emits \u00XX for control characters).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_array(JsonValue* out) {
+    if (!consume('[')) return fail("expected '['");
+    out->kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (consume(']')) return true;
+    for (;;) {
+      JsonValue element;
+      if (!parse_value(&element)) return false;
+      out->array.push_back(std::move(element));
+      if (consume(']')) return true;
+      if (!consume(',')) return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_object(JsonValue* out) {
+    if (!consume('{')) return fail("expected '{'");
+    out->kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      std::string key;
+      skip_ws();
+      if (!parse_string(&key)) return false;
+      if (!consume(':')) return fail("expected ':'");
+      JsonValue value;
+      if (!parse_value(&value)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      if (consume('}')) return true;
+      if (!consume(',')) return fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+// Tolerant field readers: missing/mistyped keys keep the default, so
+// loading a report written by an older schema fills in zeros.
+double get_number(const JsonValue& obj, const std::string& key,
+                  double fallback = 0.0) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->kind == JsonValue::Kind::kNumber ? v->number
+                                                             : fallback;
+}
+
+int get_int(const JsonValue& obj, const std::string& key, int fallback = 0) {
+  return static_cast<int>(
+      std::llround(get_number(obj, key, static_cast<double>(fallback))));
+}
+
+std::string get_string(const JsonValue& obj, const std::string& key,
+                       const std::string& fallback = {}) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->kind == JsonValue::Kind::kString ? v->string
+                                                             : fallback;
+}
+
+std::uint64_t get_hex64(const JsonValue& obj, const std::string& key) {
+  const std::string s = get_string(obj, key);
+  if (s.empty()) return 0;
+  return std::strtoull(s.c_str(), nullptr, 16);
+}
+
+/// uint64 serialized as a decimal string (exact beyond 2^53); tolerates a
+/// plain JSON number for hand-written documents.
+std::uint64_t get_u64_string(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return 0;
+  if (v->kind == JsonValue::Kind::kNumber) {
+    // Negative or > 2^64 doubles would be UB to cast; treat as absent.
+    if (!(v->number >= 0.0) || v->number >= 18446744073709551616.0) return 0;
+    return static_cast<std::uint64_t>(v->number);
+  }
+  if (v->kind == JsonValue::Kind::kString)
+    return std::strtoull(v->string.c_str(), nullptr, 10);
+  return 0;
+}
+
+void write_cell(std::string& out, const CellRecord& cell) {
+  JsonScope c(out, '{', '}');
+  append_string(c.field("label"), cell.label);
+  append_string(c.field("method"), cell.method);
+  append_string(c.field("generator"), cell.generator);
+  c.field("episodes") += std::to_string(cell.episodes);
+  c.field("successes") += std::to_string(cell.successes);
+  c.field("collisions") += std::to_string(cell.collisions);
+  c.field("timeouts") += std::to_string(cell.timeouts);
+  c.field("budget_exceeded") += std::to_string(cell.budget_exceeded);
+  c.field("success_ratio") += fmt_double(cell.success_ratio);
+  c.field("park_time_mean") += fmt_double(cell.park_time_mean);
+  c.field("park_time_min") += fmt_double(cell.park_time_min);
+  c.field("park_time_max") += fmt_double(cell.park_time_max);
+  c.field("park_time_stddev") += fmt_double(cell.park_time_stddev);
+  c.field("il_fraction_mean") += fmt_double(cell.il_fraction_mean);
+  c.field("min_clearance_mean") += fmt_double(cell.min_clearance_mean);
+  if (!cell.episode_records.empty()) {
+    JsonScope eps(c.field("episode_records"), '[', ']');
+    for (const EpisodeRecord& ep : cell.episode_records) {
+      JsonScope e(eps.element(), '{', '}');
+      append_string(e.field("outcome"), ep.outcome);
+      e.field("park_time") += fmt_double(ep.park_time);
+      e.field("min_clearance") += fmt_double(ep.min_clearance);
+      e.field("il_fraction") += fmt_double(ep.il_fraction);
+      e.field("mode_switches") += std::to_string(ep.mode_switches);
+    }
+  }
+}
+
+CellRecord read_cell(const JsonValue& v) {
+  CellRecord cell;
+  cell.label = get_string(v, "label");
+  cell.method = get_string(v, "method");
+  cell.generator = get_string(v, "generator");
+  cell.episodes = get_int(v, "episodes");
+  cell.successes = get_int(v, "successes");
+  cell.collisions = get_int(v, "collisions");
+  cell.timeouts = get_int(v, "timeouts");
+  cell.budget_exceeded = get_int(v, "budget_exceeded");
+  cell.success_ratio = get_number(v, "success_ratio");
+  cell.park_time_mean = get_number(v, "park_time_mean");
+  cell.park_time_min = get_number(v, "park_time_min");
+  cell.park_time_max = get_number(v, "park_time_max");
+  cell.park_time_stddev = get_number(v, "park_time_stddev");
+  cell.il_fraction_mean = get_number(v, "il_fraction_mean");
+  cell.min_clearance_mean = get_number(v, "min_clearance_mean");
+  if (const JsonValue* eps = v.find("episode_records");
+      eps != nullptr && eps->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& e : eps->array) {
+      EpisodeRecord ep;
+      ep.outcome = get_string(e, "outcome");
+      ep.park_time = get_number(e, "park_time");
+      ep.min_clearance = get_number(e, "min_clearance");
+      ep.il_fraction = get_number(e, "il_fraction");
+      ep.mode_switches = get_int(e, "mode_switches");
+      cell.episode_records.push_back(std::move(ep));
+    }
+  }
+  return cell;
+}
+
+CellRecord cell_from_aggregate(const SuiteCell& cell, const Aggregate& agg) {
+  CellRecord rec;
+  rec.label = agg.level;
+  rec.method = agg.method;
+  rec.generator = cell.generator;
+  rec.episodes = agg.episodes;
+  rec.successes = agg.successes;
+  rec.collisions = agg.collisions;
+  rec.timeouts = agg.timeouts;
+  rec.budget_exceeded = agg.budget_exceeded;
+  rec.success_ratio = agg.success_ratio();
+  rec.park_time_mean = agg.park_time.mean();
+  rec.park_time_min = agg.park_time.min();
+  rec.park_time_max = agg.park_time.max();
+  rec.park_time_stddev = agg.park_time.stddev();
+  rec.il_fraction_mean = agg.il_fraction.mean();
+  rec.min_clearance_mean = agg.min_clearance.mean();
+  return rec;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::uint64_t config_fingerprint(const EvalConfig& config) {
+  math::Fnv1a h;
+  h.add_int(config.episodes);
+  h.add_int(static_cast<std::int64_t>(config.base_seed));
+  h.add_double(config.sim.dt);
+  h.add_double(config.sim.goal_pos_tol);
+  h.add_double(config.sim.goal_heading_tol);
+  h.add_double(config.sim.goal_speed_tol);
+  return h.value();
+}
+
+std::string build_git_describe() { return ICOIL_GIT_DESCRIBE; }
+
+void RunReport::add_cells(const std::vector<SuiteCellResult>& results) {
+  for (const SuiteCellResult& r : results)
+    cells.push_back(cell_from_aggregate(r.cell, r.aggregate));
+}
+
+void RunReport::add_cells_detailed(
+    const std::vector<SuiteCellResult>& results,
+    const std::vector<SuiteCellEpisodes>& detailed) {
+  if (results.size() != detailed.size())
+    throw std::invalid_argument(
+        "RunReport::add_cells_detailed: " + std::to_string(results.size()) +
+        " aggregates for " + std::to_string(detailed.size()) +
+        " detailed cells — both must come from the same suite run");
+  for (std::size_t c = 0; c < detailed.size(); ++c) {
+    const SuiteCellEpisodes& cell = detailed[c];
+    CellRecord rec = cell_from_aggregate(results[c].cell, results[c].aggregate);
+    rec.episode_records.reserve(cell.episodes.size());
+    for (const EpisodeResult& ep : cell.episodes) {
+      EpisodeRecord r;
+      r.outcome = to_string(ep.outcome);
+      r.park_time = ep.park_time;
+      r.min_clearance = ep.min_clearance;
+      r.il_fraction = ep.il_fraction;
+      r.mode_switches = ep.mode_switches;
+      rec.episode_records.push_back(std::move(r));
+    }
+    cells.push_back(std::move(rec));
+  }
+}
+
+std::string RunReport::to_json() const {
+  std::string out;
+  {
+    JsonScope doc(out, '{', '}');
+    doc.field("schema_version") += std::to_string(meta.schema_version);
+    {
+      JsonScope m(doc.field("meta"), '{', '}');
+      append_string(m.field("suite"), meta.suite);
+      append_string(m.field("git_describe"), meta.git_describe);
+      m.field("threads") += std::to_string(meta.threads);
+      m.field("episodes_per_cell") += std::to_string(meta.episodes_per_cell);
+      // uint64 values travel as strings: a JSON number is a double on load
+      // and would corrupt seeds >= 2^53.
+      append_string(m.field("base_seed"), std::to_string(meta.base_seed));
+      append_string(m.field("config_fingerprint"),
+                    fmt_hex64(meta.config_fingerprint));
+    }
+    {
+      JsonScope cs(doc.field("cells"), '[', ']');
+      for (const CellRecord& cell : cells) write_cell(cs.element(), cell);
+    }
+  }
+  out.push_back('\n');
+  return out;
+}
+
+bool RunReport::save(const std::string& path, std::string* error) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    if (error) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << to_json();
+  if (!out) {
+    if (error) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+bool RunReport::parse(const std::string& json, RunReport* out,
+                      std::string* error) {
+  JsonValue root;
+  JsonParser parser(json, error);
+  if (!parser.parse(&root)) return false;
+  if (root.kind != JsonValue::Kind::kObject) {
+    if (error) *error = "report root is not a JSON object";
+    return false;
+  }
+  RunReport report;
+  report.meta.schema_version = get_int(root, "schema_version", -1);
+  if (report.meta.schema_version < 1 ||
+      report.meta.schema_version > kRunReportSchemaVersion) {
+    if (error)
+      *error = "unsupported schema_version " +
+               std::to_string(report.meta.schema_version) + " (this build reads <= " +
+               std::to_string(kRunReportSchemaVersion) + ")";
+    return false;
+  }
+  if (const JsonValue* m = root.find("meta");
+      m != nullptr && m->kind == JsonValue::Kind::kObject) {
+    report.meta.suite = get_string(*m, "suite");
+    report.meta.git_describe = get_string(*m, "git_describe");
+    report.meta.threads = get_int(*m, "threads");
+    report.meta.episodes_per_cell = get_int(*m, "episodes_per_cell");
+    report.meta.base_seed = get_u64_string(*m, "base_seed");
+    report.meta.config_fingerprint = get_hex64(*m, "config_fingerprint");
+  }
+  if (const JsonValue* cs = root.find("cells");
+      cs != nullptr && cs->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& c : cs->array) {
+      if (c.kind != JsonValue::Kind::kObject) {
+        if (error) *error = "cells[] entry is not an object";
+        return false;
+      }
+      report.cells.push_back(read_cell(c));
+    }
+  }
+  *out = std::move(report);
+  return true;
+}
+
+bool RunReport::load(const std::string& path, RunReport* out,
+                     std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str(), out, error);
+}
+
+std::string aggregate_json_line(const std::string& bench,
+                                const std::string& cell,
+                                const Aggregate& agg) {
+  std::string out;
+  JsonScope line(out, '{', '}');
+  append_string(line.field("bench"), bench);
+  append_string(line.field("cell"), cell);
+  append_string(line.field("method"), agg.method);
+  line.field("episodes") += std::to_string(agg.episodes);
+  line.field("successes") += std::to_string(agg.successes);
+  line.field("collisions") += std::to_string(agg.collisions);
+  line.field("timeouts") += std::to_string(agg.timeouts);
+  line.field("budget_exceeded") += std::to_string(agg.budget_exceeded);
+  line.field("success_ratio") += fmt_double(agg.success_ratio());
+  line.field("park_time_mean") += fmt_double(agg.park_time.mean());
+  line.field("park_time_min") += fmt_double(agg.park_time.min());
+  line.field("park_time_max") += fmt_double(agg.park_time.max());
+  line.field("il_fraction_mean") += fmt_double(agg.il_fraction.mean());
+  line.field("min_clearance_mean") += fmt_double(agg.min_clearance.mean());
+  return out;
+}
+
+std::string BaselineVerdict::summary() const {
+  std::ostringstream out;
+  if (ok) {
+    out << "baseline check OK";
+  } else {
+    out << "baseline check FAILED (" << failures.size() << " regression"
+        << (failures.size() == 1 ? "" : "s") << ")";
+  }
+  for (const std::string& f : failures) out << "\n  FAIL  " << f;
+  for (const std::string& n : notes) out << "\n  note  " << n;
+  return out.str();
+}
+
+BaselineVerdict compare_to_baseline(const RunReport& current,
+                                    const RunReport& baseline,
+                                    const BaselineTolerance& tolerance) {
+  BaselineVerdict verdict;
+  if (current.meta.config_fingerprint != baseline.meta.config_fingerprint)
+    verdict.notes.push_back(
+        "config fingerprints differ — the baseline run used different eval "
+        "settings; numbers may legitimately differ");
+
+  auto find_current = [&](const CellRecord& want) -> const CellRecord* {
+    for (const CellRecord& c : current.cells)
+      if (c.method == want.method && c.label == want.label) return &c;
+    return nullptr;
+  };
+
+  for (const CellRecord& base : baseline.cells) {
+    const CellRecord* cur = find_current(base);
+    const std::string id = base.method + " / " + base.label;
+    if (cur == nullptr) {
+      verdict.failures.push_back(id + ": cell missing from current run");
+      continue;
+    }
+    const double drop = base.success_ratio - cur->success_ratio;
+    if (drop > tolerance.success_drop + 1e-12) {
+      std::ostringstream why;
+      why << id << ": success ratio " << cur->success_ratio << " vs baseline "
+          << base.success_ratio << " (drop " << drop << " > tol "
+          << tolerance.success_drop << ")";
+      verdict.failures.push_back(why.str());
+    }
+    // Park time only compares when both runs actually parked: a mean over
+    // zero successes is the RunningStats 0.0 placeholder, not a time.
+    if (base.successes > 0 && cur->successes > 0 && base.park_time_mean > 0) {
+      const double slowdown =
+          cur->park_time_mean / base.park_time_mean - 1.0;
+      if (slowdown > tolerance.park_time_slowdown + 1e-12) {
+        std::ostringstream why;
+        why << id << ": park time mean " << cur->park_time_mean
+            << " s vs baseline " << base.park_time_mean << " s (+"
+            << 100.0 * slowdown << "% > tol "
+            << 100.0 * tolerance.park_time_slowdown << "%)";
+        verdict.failures.push_back(why.str());
+      }
+    }
+    if (cur->budget_exceeded > base.budget_exceeded)
+      verdict.notes.push_back(id + ": budget_exceeded rose to " +
+                              std::to_string(cur->budget_exceeded) + " (from " +
+                              std::to_string(base.budget_exceeded) + ")");
+  }
+
+  for (const CellRecord& cur : current.cells) {
+    bool known = false;
+    for (const CellRecord& base : baseline.cells)
+      if (base.method == cur.method && base.label == cur.label) known = true;
+    if (!known)
+      verdict.notes.push_back(cur.method + " / " + cur.label +
+                              ": new cell (not in baseline)");
+  }
+
+  verdict.ok = verdict.failures.empty();
+  return verdict;
+}
+
+}  // namespace icoil::sim

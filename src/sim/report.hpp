@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/evaluator.hpp"
+
+namespace icoil::sim {
+
+/// Schema version written into every report; the loader rejects documents
+/// from the future and fills defaults for fields added since an old one.
+inline constexpr int kRunReportSchemaVersion = 1;
+
+/// Escapes `"` `\` and control characters for embedding in a JSON string
+/// literal (the one escaping routine every JSON we emit goes through).
+std::string json_escape(const std::string& s);
+
+/// Fingerprint of the EvalConfig knobs that determine episode outcomes
+/// (episodes, base seed, sim dt and goal tolerances — NOT thread counts,
+/// which never change results). Two reports are outcome-comparable only if
+/// their fingerprints match.
+std::uint64_t config_fingerprint(const EvalConfig& config);
+
+/// The git description of the build ("v1.2-3-gabcdef" / "abcdef-dirty"),
+/// stamped at configure time; "unknown" outside a git checkout.
+std::string build_git_describe();
+
+/// Run-level metadata: enough to tell whether two reports are comparable
+/// and where a regression came from.
+struct RunReportMeta {
+  int schema_version = kRunReportSchemaVersion;
+  std::string suite;                 ///< suite name ("table2", "zoo", ...)
+  std::string git_describe;          ///< build stamp (build_git_describe())
+  int threads = 0;                   ///< resolved worker count of the run
+  int episodes_per_cell = 0;
+  std::uint64_t base_seed = 0;
+  std::uint64_t config_fingerprint = 0;  ///< sim::config_fingerprint
+};
+
+/// One recorded episode (optional detail; off by default to keep reports
+/// small and diffable).
+struct EpisodeRecord {
+  std::string outcome;               ///< sim::to_string(Outcome)
+  double park_time = 0.0;
+  double min_clearance = 0.0;
+  double il_fraction = 0.0;
+  int mode_switches = 0;
+};
+
+/// One (cell, method) aggregate row of a run.
+struct CellRecord {
+  std::string label;                 ///< cell display label
+  std::string method;
+  std::string generator;
+  int episodes = 0;
+  int successes = 0;
+  int collisions = 0;
+  int timeouts = 0;
+  int budget_exceeded = 0;
+  double success_ratio = 0.0;
+  double park_time_mean = 0.0;
+  double park_time_min = 0.0;
+  double park_time_max = 0.0;
+  double park_time_stddev = 0.0;
+  double il_fraction_mean = 0.0;
+  double min_clearance_mean = 0.0;
+  std::vector<EpisodeRecord> episode_records;  ///< empty unless requested
+};
+
+/// A versioned, machine-readable record of one bench/suite run: run
+/// metadata plus per-(cell, method) aggregates and optional per-episode
+/// records. Writer AND loader live here so a committed reference report can
+/// gate CI (see compare_to_baseline).
+struct RunReport {
+  RunReportMeta meta;
+  std::vector<CellRecord> cells;
+
+  /// Appends one aggregate row per suite cell for `results`; call once per
+  /// method when a run covers several.
+  void add_cells(const std::vector<SuiteCellResult>& results);
+  /// Same, with the per-episode records from `detailed` attached. `results`
+  /// must be the aggregates of exactly those episodes (cell-for-cell) —
+  /// passing them in keeps the fold in one place so table and artifact
+  /// cannot disagree.
+  void add_cells_detailed(const std::vector<SuiteCellResult>& results,
+                          const std::vector<SuiteCellEpisodes>& detailed);
+
+  std::string to_json() const;
+  bool save(const std::string& path, std::string* error = nullptr) const;
+  static bool parse(const std::string& json, RunReport* out,
+                    std::string* error = nullptr);
+  static bool load(const std::string& path, RunReport* out,
+                   std::string* error = nullptr);
+};
+
+/// One per-cell JSON line for the BENCH_JSON append hook (same writer and
+/// escaping as RunReport, no trailing newline).
+std::string aggregate_json_line(const std::string& bench,
+                                const std::string& cell, const Aggregate& agg);
+
+/// What compare_to_baseline tolerates before calling a change a regression.
+struct BaselineTolerance {
+  /// Allowed absolute drop in per-cell success ratio.
+  double success_drop = 0.02;
+  /// Allowed relative increase in mean park time over successful episodes.
+  double park_time_slowdown = 0.10;
+};
+
+/// Outcome of comparing a fresh report against a committed baseline.
+struct BaselineVerdict {
+  bool ok = true;
+  std::vector<std::string> failures;  ///< per-cell regression reasons
+  std::vector<std::string> notes;     ///< non-fatal observations
+
+  std::string summary() const;
+};
+
+/// Compares `current` against `baseline` cell by cell (matched on
+/// method + label). Regressions: a baseline cell missing from the current
+/// run, a success-ratio drop beyond tolerance, or a park-time slowdown
+/// beyond tolerance. Mismatched config fingerprints are flagged as a note
+/// (the numbers may legitimately differ).
+BaselineVerdict compare_to_baseline(const RunReport& current,
+                                    const RunReport& baseline,
+                                    const BaselineTolerance& tolerance = {});
+
+}  // namespace icoil::sim

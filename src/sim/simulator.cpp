@@ -10,13 +10,14 @@ const char* to_string(Outcome o) {
     case Outcome::kSuccess: return "success";
     case Outcome::kCollision: return "collision";
     case Outcome::kTimeout: return "timeout";
+    case Outcome::kBudgetExceeded: return "budget_exceeded";
   }
   return "?";
 }
 
 EpisodeResult Simulator::run(const world::Scenario& scenario,
-                             core::Controller& controller,
-                             std::uint64_t seed) const {
+                             core::Controller& controller, std::uint64_t seed,
+                             const core::CancelToken* cancel) const {
   EpisodeResult res;
   math::Rng rng(seed ^ 0x51D5EEDull);
 
@@ -35,6 +36,15 @@ EpisodeResult Simulator::run(const world::Scenario& scenario,
 
   for (std::size_t frame = 0; frame < max_frames; ++frame) {
     const double t = static_cast<double>(frame) * config_.dt;
+
+    if (cancel != nullptr && cancel->cancelled()) {
+      res.outcome = Outcome::kBudgetExceeded;
+      res.park_time = t;
+      res.il_fraction = res.frames > 0 ? static_cast<double>(il_frames) /
+                                             static_cast<double>(res.frames)
+                                       : 0.0;
+      return res;
+    }
 
     const vehicle::Command cmd = controller.act(world, state, rng);
     const core::FrameInfo& info = controller.last_frame();

@@ -3,13 +3,16 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/cancel_token.hpp"
 #include "core/controller.hpp"
 #include "world/world.hpp"
 
 namespace icoil::sim {
 
-/// How an episode ended.
-enum class Outcome { kSuccess, kCollision, kTimeout };
+/// How an episode ended. kBudgetExceeded means the episode's wall-clock
+/// budget (a core::CancelToken deadline) tripped before any simulated
+/// terminal condition — the episode was cut short, not finished late.
+enum class Outcome { kSuccess, kCollision, kTimeout, kBudgetExceeded };
 
 const char* to_string(Outcome o);
 
@@ -46,7 +49,9 @@ struct SimConfig {
 };
 
 /// Runs one controller through one scenario episode: sense -> act ->
-/// integrate -> check collision/goal/timeout.
+/// integrate -> check collision/goal/timeout. When `cancel` is given the
+/// loop polls it every frame and bails out with kBudgetExceeded once it
+/// trips (wall-clock budgets, ctrl-C style aborts).
 class Simulator {
  public:
   explicit Simulator(SimConfig config = {}) : config_(config) {}
@@ -54,7 +59,8 @@ class Simulator {
   const SimConfig& config() const { return config_; }
 
   EpisodeResult run(const world::Scenario& scenario, core::Controller& controller,
-                    std::uint64_t seed) const;
+                    std::uint64_t seed,
+                    const core::CancelToken* cancel = nullptr) const;
 
  private:
   SimConfig config_;

@@ -18,6 +18,13 @@ struct SuiteCell {
   world::GeneratorParams params;
   int num_obstacles_override = -1;  ///< -1 = level default
   double time_limit = 60.0;
+  /// Wall-clock budget [s] for the WHOLE cell (all of its episodes across
+  /// all workers, measured from when its first episode starts). Episodes
+  /// still running or not yet started when it trips report
+  /// Outcome::kBudgetExceeded instead of silently finishing late.
+  /// <= 0 means unlimited. Budgets make results timing-dependent, so leave
+  /// them off when bit-identical reproducibility matters.
+  double wall_budget = 0.0;
   std::string label;  ///< display label; empty -> "generator/difficulty/start"
 
   /// The ScenarioOptions this cell expands to.

@@ -101,6 +101,18 @@ TEST(SimulatorTest, OutcomeToString) {
   EXPECT_STREQ(to_string(Outcome::kSuccess), "success");
   EXPECT_STREQ(to_string(Outcome::kCollision), "collision");
   EXPECT_STREQ(to_string(Outcome::kTimeout), "timeout");
+  EXPECT_STREQ(to_string(Outcome::kBudgetExceeded), "budget_exceeded");
+}
+
+TEST(SimulatorTest, CancelledTokenCutsEpisodeShort) {
+  FixedController controller(vehicle::Command::full_stop());
+  world::Scenario sc = easy_scenario();
+  sc.time_limit = 30.0;
+  core::CancelToken cancel;
+  cancel.cancel();
+  const EpisodeResult res = Simulator().run(sc, controller, 1, &cancel);
+  EXPECT_EQ(res.outcome, Outcome::kBudgetExceeded);
+  EXPECT_EQ(res.frames, 0u);
 }
 
 // -------------------------------------------------------------- evaluator
