@@ -7,7 +7,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "core/icoil_controller.hpp"
+#include "core/controller_registry.hpp"
 #include "mathkit/table.hpp"
 #include "sim/evaluator.hpp"
 
@@ -25,17 +25,20 @@ int main() {
   math::TextTable table(
       {"lambda", "guard", "success", "IL frames", "time mean [s]"});
 
+  const auto& registry = core::ControllerRegistry::instance();
   const double lambdas[] = {0.1, 0.3, 1.0, 3.0, 10.0};
   for (double lambda : lambdas) {
     for (int guard : {0, 20}) {
       core::IcoilConfig config;
       config.hsa.lambda = lambda;
       config.hsa.guard_frames = guard;
-      const sim::Aggregate agg = evaluator.evaluate(
-          [&] {
-            return std::make_unique<core::IcoilController>(config, *policy);
-          },
-          options, "iCOIL");
+      // The registry factory copies the swept config, so the per-iteration
+      // local is safe to hand over.
+      core::ControllerBuildArgs args;
+      args.policy = policy.get();
+      args.icoil = &config;
+      const sim::Aggregate agg =
+          evaluator.evaluate(registry.factory("icoil", args), options, "iCOIL");
       table.add_row({math::format_double(lambda, 1), std::to_string(guard),
                      math::format_double(100.0 * agg.success_ratio(), 0) + "%",
                      math::format_double(100.0 * agg.il_fraction.mean(), 0) + "%",

@@ -1,0 +1,317 @@
+// Serving-scale driver for the stepwise Session API: opens N concurrent
+// parking sessions and interleaves their control frames on ONE
+// core::TaskPool — every step() is one served frame, timed individually.
+// Reports throughput (frames/sec) and tail latency (p50/p99/max per-frame
+// milliseconds) plus the episode outcome aggregate, all through a loadable
+// sim::RunReport (meta.suite = "serve", report.serve = ServeStats).
+//
+// Sessions self-reschedule: a session's task steps one frame and, while the
+// episode is live, resubmits itself to the pool queue, so frames of all
+// sessions interleave FIFO instead of each session hogging a worker. This
+// is the per-frame arbitration shape the paper's controller runs at, lifted
+// to a multi-tenant serving loop.
+//
+// Ctrl-C is clean: SIGINT trips a shared core::CancelToken that every
+// session polls, episodes end as budget_exceeded, and the partial report is
+// written (meta.aborted) before exit 130.
+//
+// Usage:
+//   bench_serve [options]
+//     --sessions N           concurrent sessions (default 8)
+//     --method KEY           controller registry key (default co)
+//     --frame-deadline-ms X  per-frame controller budget (default: none)
+//     --time-limit S         per-episode simulated time limit (default 60)
+//     --difficulty LEVEL     easy|normal|hard (default normal)
+//     --threads N            pool workers (0 = hardware, capped at 16)
+//     --seed S               base seed; session i uses seed+i (default 1000)
+//     --report PATH          write the RunReport JSON artifact
+//     --quick                smoke mode: 4 easy sessions, 6 s episodes
+//
+// Exit codes: 0 ok, 2 usage error, 3 I/O error, 130 aborted by SIGINT.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/controller_registry.hpp"
+#include "core/task_pool.hpp"
+#include "mathkit/stats.hpp"
+#include "mathkit/table.hpp"
+#include "sim/session.hpp"
+
+namespace {
+
+using namespace icoil;
+
+struct ServeOptions {
+  int sessions = 8;
+  std::string method = "co";
+  double frame_deadline_ms = 0.0;
+  double time_limit = 60.0;
+  world::Difficulty difficulty = world::Difficulty::kNormal;
+  int threads = 0;
+  std::uint64_t base_seed = 1000;
+  std::string report_path;
+  bool quick = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--sessions N] [--method KEY] "
+               "[--frame-deadline-ms X] [--time-limit S] "
+               "[--difficulty easy|normal|hard] [--threads N] [--seed S] "
+               "[--report PATH] [--quick]\n",
+               argv0);
+  return 2;
+}
+
+int run_serve(const ServeOptions& opts) {
+  const auto& registry = core::ControllerRegistry::instance();
+  const core::ControllerSpec* spec = registry.find(opts.method);
+  if (spec == nullptr) {
+    std::fprintf(stderr,
+                 "bench_serve: unknown method \"%s\" — run `bench_suite "
+                 "--list-methods` for the registered keys\n",
+                 opts.method.c_str());
+    return 2;
+  }
+
+  // Policy (when needed) and every controller are built on the main thread
+  // before serving starts; workers only ever call step().
+  std::unique_ptr<il::IlPolicy> policy;
+  core::ControllerBuildArgs args;
+  if (spec->needs_policy) {
+    policy = bench::shared_policy();
+    args.policy = policy.get();
+  }
+
+  sim::SimConfig sim_config;
+  sim_config.frame_deadline_ms = opts.frame_deadline_ms;
+
+  // One scenario per session (distinct seeds -> distinct start poses).
+  struct Served {
+    std::unique_ptr<core::Controller> controller;
+    std::unique_ptr<sim::Session> session;
+    std::vector<double> latencies_ms;  // per-session: no cross-thread sharing
+  };
+  std::vector<Served> served(static_cast<std::size_t>(opts.sessions));
+  for (int i = 0; i < opts.sessions; ++i) {
+    const std::uint64_t seed =
+        opts.base_seed + static_cast<std::uint64_t>(i);
+    world::ScenarioOptions scenario_opts;
+    scenario_opts.difficulty = opts.difficulty;
+    scenario_opts.time_limit = opts.time_limit;
+    const world::Scenario scenario = world::make_scenario(scenario_opts, seed);
+    Served& s = served[static_cast<std::size_t>(i)];
+    s.controller = registry.build(opts.method, args);
+    s.session = std::make_unique<sim::Session>(scenario, *s.controller, seed,
+                                               sim_config, &bench::sigint_token());
+    s.latencies_ms.reserve(
+        static_cast<std::size_t>(opts.time_limit / sim_config.dt) + 1);
+  }
+
+  const int workers = core::TaskPool::recommended_workers(
+      opts.threads, opts.sessions, /*cap=*/16);
+  core::TaskPool pool(workers);
+
+  // Self-rescheduling frame tasks: one step per task, FIFO through the
+  // shared queue, so no session monopolizes a worker.
+  std::function<void(std::size_t)> pump = [&](std::size_t i) {
+    pool.submit([&, i](const core::TaskPool::Context&) {
+      Served& s = served[i];
+      const std::size_t before = s.session->frame();
+      const auto t0 = std::chrono::steady_clock::now();
+      const sim::Session::Status status = s.session->step();
+      // Only steps that ran a control frame count as served: the terminal
+      // timeout/cancel finalize does no work and would deflate the latency
+      // percentiles it is supposed to measure.
+      if (s.session->frame() > before)
+        s.latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+      if (status == sim::Session::Status::kRunning) pump(i);
+    });
+  };
+
+  std::fprintf(stderr,
+               "[serve] %d session%s of %s on %d worker%s (deadline %s)\n",
+               opts.sessions, opts.sessions == 1 ? "" : "s",
+               spec->display_name.c_str(), workers, workers == 1 ? "" : "s",
+               opts.frame_deadline_ms > 0.0
+                   ? (std::to_string(opts.frame_deadline_ms) + " ms").c_str()
+                   : "off");
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < served.size(); ++i) pump(i);
+  pool.wait_idle();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+
+  // ---- fold the per-session measurements -------------------------------
+  std::vector<double> all_latencies;
+  std::vector<sim::EpisodeResult> results;
+  int deadline_hits = 0;
+  for (const Served& s : served) {
+    all_latencies.insert(all_latencies.end(), s.latencies_ms.begin(),
+                         s.latencies_ms.end());
+    results.push_back(s.session->result());
+    deadline_hits += s.session->result().deadline_hits;
+  }
+  sim::ServeStats stats;
+  stats.method = opts.method;
+  stats.sessions = opts.sessions;
+  stats.threads = workers;
+  stats.frames = all_latencies.size();
+  stats.wall_seconds = wall_seconds;
+  stats.frames_per_second =
+      wall_seconds > 0.0 ? static_cast<double>(stats.frames) / wall_seconds
+                         : 0.0;
+  stats.frame_p50_ms = math::percentile(all_latencies, 50.0);
+  stats.frame_p99_ms = math::percentile(all_latencies, 99.0);
+  stats.frame_max_ms = math::percentile(all_latencies, 100.0);
+  stats.frame_deadline_ms = opts.frame_deadline_ms;
+  stats.deadline_hits = deadline_hits;
+
+  const bool aborted = bench::sigint_token().cancelled();
+
+  sim::EvalConfig eval_config;  // provenance fingerprint only
+  eval_config.episodes = opts.sessions;
+  eval_config.base_seed = opts.base_seed;
+  eval_config.sim = sim_config;
+
+  sim::RunReport report;
+  report.meta.suite = "serve";
+  report.meta.git_describe = sim::build_git_describe();
+  report.meta.threads = workers;
+  report.meta.episodes_per_cell = opts.sessions;
+  report.meta.base_seed = opts.base_seed;
+  report.meta.config_fingerprint = sim::config_fingerprint(eval_config);
+  report.meta.aborted = aborted;
+  report.serve = stats;
+
+  sim::SuiteCell cell;
+  cell.difficulty = opts.difficulty;
+  cell.time_limit = opts.time_limit;
+  cell.label = "serve";
+  // The ONE fold: the report cell and the printed summary share it.
+  const sim::Aggregate agg =
+      sim::aggregate_episodes(results, spec->display_name, cell.label);
+  report.add_cells({{cell, agg}});
+
+  // ---- human-readable summary ------------------------------------------
+  math::TextTable table({"metric", "value"});
+  table.add_row({"sessions", std::to_string(opts.sessions)});
+  table.add_row({"workers", std::to_string(workers)});
+  table.add_row({"frames served", std::to_string(stats.frames)});
+  table.add_row({"wall time [s]", math::format_double(wall_seconds, 2)});
+  table.add_row({"frames/sec", math::format_double(stats.frames_per_second, 1)});
+  table.add_row({"frame p50 [ms]", math::format_double(stats.frame_p50_ms, 2)});
+  table.add_row({"frame p99 [ms]", math::format_double(stats.frame_p99_ms, 2)});
+  table.add_row({"frame max [ms]", math::format_double(stats.frame_max_ms, 2)});
+  table.add_row({"deadline hits", std::to_string(stats.deadline_hits)});
+  table.add_row({"parked", std::to_string(agg.successes)});
+  table.add_row({"collided", std::to_string(agg.collisions)});
+  table.add_row({"timed out", std::to_string(agg.timeouts)});
+  table.add_row({"over budget", std::to_string(agg.budget_exceeded)});
+  std::printf("\nServing run — %s, %d concurrent session%s%s\n\n",
+              spec->display_name.c_str(), opts.sessions,
+              opts.sessions == 1 ? "" : "s",
+              aborted ? " — ABORTED, partial results" : "");
+  table.print(std::cout);
+
+  if (!opts.report_path.empty()) {
+    std::string error;
+    if (!report.save(opts.report_path, &error)) {
+      std::fprintf(stderr, "bench_serve: %s\n", error.c_str());
+      return 3;
+    }
+    std::fprintf(stderr, "[serve] %sreport written to %s\n",
+                 aborted ? "partial (aborted) " : "",
+                 opts.report_path.c_str());
+  }
+  return aborted ? 130 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--sessions") {
+      const char* v = next_value();
+      if (v == nullptr || !bench::parse_int_arg(v, &opts.sessions) ||
+          opts.sessions < 1)
+        return usage(argv[0]);
+    } else if (arg == "--method") {
+      const char* v = next_value();
+      if (v == nullptr) return usage(argv[0]);
+      opts.method = v;
+    } else if (arg == "--frame-deadline-ms") {
+      const char* v = next_value();
+      if (v == nullptr || !bench::parse_double_arg(v, &opts.frame_deadline_ms) ||
+          opts.frame_deadline_ms <= 0.0)
+        return usage(argv[0]);
+    } else if (arg == "--time-limit") {
+      const char* v = next_value();
+      if (v == nullptr || !bench::parse_double_arg(v, &opts.time_limit) ||
+          opts.time_limit <= 0.0)
+        return usage(argv[0]);
+    } else if (arg == "--difficulty") {
+      const char* v = next_value();
+      if (v == nullptr) return usage(argv[0]);
+      if (std::strcmp(v, "easy") == 0) opts.difficulty = world::Difficulty::kEasy;
+      else if (std::strcmp(v, "normal") == 0)
+        opts.difficulty = world::Difficulty::kNormal;
+      else if (std::strcmp(v, "hard") == 0)
+        opts.difficulty = world::Difficulty::kHard;
+      else return usage(argv[0]);
+    } else if (arg == "--threads") {
+      const char* v = next_value();
+      if (v == nullptr || !bench::parse_int_arg(v, &opts.threads) ||
+          opts.threads < 0)
+        return usage(argv[0]);
+    } else if (arg == "--seed") {
+      const char* v = next_value();
+      char* end = nullptr;
+      if (v == nullptr) return usage(argv[0]);
+      opts.base_seed = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0') return usage(argv[0]);
+    } else if (arg == "--report") {
+      const char* v = next_value();
+      if (v == nullptr) return usage(argv[0]);
+      opts.report_path = v;
+    } else if (arg == "--quick") {
+      opts.quick = true;
+    } else {
+      std::fprintf(stderr, "bench_serve: unknown argument \"%s\"\n",
+                   arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  if (opts.quick) {
+    // Smoke settings: tiny interleaved run that needs no trained policy and
+    // finishes in seconds. Explicit flags given alongside --quick still win
+    // for method/deadline, but the episode shape is pinned.
+    opts.sessions = 4;
+    opts.difficulty = world::Difficulty::kEasy;
+    opts.time_limit = 6.0;
+  }
+
+  bench::install_sigint_handler();
+  return run_serve(opts);
+}

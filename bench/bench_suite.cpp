@@ -5,27 +5,33 @@
 // regression beyond tolerance). Subsumes the duplicated main()s of the
 // table2_success / fig8_sensitivity binaries, which remain as thin wrappers.
 //
+// Ctrl-C is clean: SIGINT trips a shared core::CancelToken, the evaluation
+// fan-out drains, and the partial report is still written (meta.aborted)
+// before the process exits 130.
+//
 // Usage:
 //   bench_suite [table2|fig8|zoo] [options]
 //     --episodes N       episodes per cell (default: suite-specific;
 //                        ICOIL_EPISODES honoured)
-//     --methods LIST     comma list of icoil,il,co (default: suite-specific)
+//     --methods LIST     comma list of controller registry keys
+//                        (default: suite-specific; see --list-methods)
+//     --list-methods     print the registered method keys and exit 0
 //     --report PATH      write the RunReport JSON artifact
 //     --baseline PATH    load a reference RunReport and exit 1 on regression
 //     --success-tol X    allowed absolute success-ratio drop (default 0.02)
 //     --park-tol X       allowed relative park-time slowdown (default 0.10)
 //     --budget S         per-cell wall-clock budget in seconds
+//     --frame-deadline-ms X  per-frame controller budget in milliseconds
 //     --per-episode      include per-episode records in the report
 //     --threads N        evaluator worker threads (0 = hardware)
 //     --csv PATH         also save the table as CSV
 //     --quick            smoke mode: 2 episodes, CO only (no training);
 //                        default suite: zoo
 //
-// Exit codes: 0 ok, 1 baseline regression, 2 usage error, 3 I/O error.
+// Exit codes: 0 ok, 1 baseline regression, 2 usage error, 3 I/O error,
+// 130 aborted by SIGINT (partial report written).
 
-#include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -33,31 +39,15 @@
 
 namespace {
 
-bool parse_double(const char* text, double* out) {
-  char* end = nullptr;
-  *out = std::strtod(text, &end);
-  // strtod accepts "nan"/"inf"; a NaN tolerance would make every baseline
-  // comparison silently pass, so only finite values count as parsed.
-  return end != text && *end == '\0' && std::isfinite(*out);
-}
-
-// Strict by the same convention as sim::env_int_or: trailing junk is an
-// error, not silently ignored (atoi would map "2x" to 2 and "eight" to 0).
-bool parse_int(const char* text, int* out) {
-  char* end = nullptr;
-  const long value = std::strtol(text, &end, 10);
-  if (end == text || *end != '\0' || value < -1000000000L ||
-      value > 1000000000L)
-    return false;
-  *out = static_cast<int>(value);
-  return true;
-}
+using icoil::bench::parse_double_arg;
+using icoil::bench::parse_int_arg;
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [table2|fig8|zoo] [--episodes N] [--methods LIST] "
-               "[--report PATH] [--baseline PATH] [--success-tol X] "
-               "[--park-tol X] [--budget S] [--per-episode] [--threads N] "
+               "[--list-methods] [--report PATH] [--baseline PATH] "
+               "[--success-tol X] [--park-tol X] [--budget S] "
+               "[--frame-deadline-ms X] [--per-episode] [--threads N] "
                "[--csv PATH] [--quick]\n",
                argv0);
   return 2;
@@ -79,9 +69,12 @@ int main(int argc, char** argv) {
     if (arg == "table2" || arg == "fig8" || arg == "zoo") {
       if (!which.empty()) return usage(argv[0]);
       which = arg;
+    } else if (arg == "--list-methods") {
+      bench::print_registered_methods(stdout);
+      return 0;
     } else if (arg == "--episodes") {
       const char* v = next_value();
-      if (v == nullptr || !parse_int(v, &opts.episodes) || opts.episodes <= 0)
+      if (v == nullptr || !parse_int_arg(v, &opts.episodes) || opts.episodes <= 0)
         return usage(argv[0]);
     } else if (arg == "--methods") {
       const char* v = next_value();
@@ -101,25 +94,30 @@ int main(int argc, char** argv) {
       opts.csv_path = v;
     } else if (arg == "--success-tol") {
       const char* v = next_value();
-      if (v == nullptr || !parse_double(v, &opts.tolerance.success_drop) ||
+      if (v == nullptr || !parse_double_arg(v, &opts.tolerance.success_drop) ||
           opts.tolerance.success_drop < 0.0)
         return usage(argv[0]);
     } else if (arg == "--park-tol") {
       const char* v = next_value();
       if (v == nullptr ||
-          !parse_double(v, &opts.tolerance.park_time_slowdown) ||
+          !parse_double_arg(v, &opts.tolerance.park_time_slowdown) ||
           opts.tolerance.park_time_slowdown < 0.0)
         return usage(argv[0]);
     } else if (arg == "--budget") {
       // A negative budget is a typo, not "no budget": reject it rather than
       // silently running without the wall-clock gate.
       const char* v = next_value();
-      if (v == nullptr || !parse_double(v, &opts.wall_budget) ||
+      if (v == nullptr || !parse_double_arg(v, &opts.wall_budget) ||
           opts.wall_budget <= 0.0)
+        return usage(argv[0]);
+    } else if (arg == "--frame-deadline-ms") {
+      const char* v = next_value();
+      if (v == nullptr || !parse_double_arg(v, &opts.frame_deadline_ms) ||
+          opts.frame_deadline_ms <= 0.0)
         return usage(argv[0]);
     } else if (arg == "--threads") {
       const char* v = next_value();
-      if (v == nullptr || !parse_int(v, &opts.threads) || opts.threads < 0)
+      if (v == nullptr || !parse_int_arg(v, &opts.threads) || opts.threads < 0)
         return usage(argv[0]);
     } else if (arg == "--per-episode") {
       opts.per_episode = true;
@@ -136,5 +134,11 @@ int main(int argc, char** argv) {
     if (!opts.quick) return usage(argv[0]);
     which = "zoo";  // the smoke default: fast, no trained policy
   }
+
+  // Ctrl-C trips the shared token; the suite drains and the partial report
+  // is still written instead of the process dying mid-write.
+  opts.abort = &bench::sigint_token();
+  bench::install_sigint_handler();
+
   return bench::run_suite_command(which, opts);
 }

@@ -9,8 +9,7 @@
 #include <set>
 
 #include "bench_util.hpp"
-#include "core/co_controller.hpp"
-#include "core/il_controller.hpp"
+#include "core/controller_registry.hpp"
 #include "mathkit/table.hpp"
 #include "sim/simulator.hpp"
 
@@ -26,11 +25,12 @@ int main() {
   sim_config.record_trace = true;
   sim::Simulator simulator(sim_config);
 
-  core::CoController expert(co::CoPlannerConfig{}, vehicle::VehicleParams{});
-  const sim::EpisodeResult expert_run = simulator.run(scenario, expert, 911);
+  const auto& registry = core::ControllerRegistry::instance();
+  const auto expert = registry.build("co");
+  const sim::EpisodeResult expert_run = simulator.run(scenario, *expert, 911);
 
-  core::IlController il(*policy);
-  const sim::EpisodeResult il_run = simulator.run(scenario, il, 911);
+  const auto il = registry.build("il", {.policy = policy.get()});
+  const sim::EpisodeResult il_run = simulator.run(scenario, *il, 911);
 
   std::printf("Fig. 5 — steering time series (same scenario, seed 911)\n");
   std::printf("expert (CO): %s in %.1f s; IL: %s in %.1f s\n\n",

@@ -8,8 +8,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "core/icoil_controller.hpp"
-#include "core/il_controller.hpp"
+#include "core/controller_registry.hpp"
 #include "mathkit/table.hpp"
 #include "sim/simulator.hpp"
 
@@ -58,15 +57,19 @@ int main() {
   sim_config.record_trace = true;
   sim::Simulator simulator(sim_config);
 
+  const auto& registry = core::ControllerRegistry::instance();
+  const core::ControllerBuildArgs build_args{.policy = policy.get()};
+
   std::uint64_t seed = 1200;
   sim::EpisodeResult icoil_run, il_run;
   for (std::uint64_t candidate = 1200; candidate < 1240; ++candidate) {
     const world::Scenario sc = world::make_scenario(options, candidate);
-    core::IlController il_probe(*policy);
-    const sim::EpisodeResult il_res = simulator.run(sc, il_probe, candidate);
+    const auto il_probe = registry.build("il", build_args);
+    const sim::EpisodeResult il_res = simulator.run(sc, *il_probe, candidate);
     if (il_res.success()) continue;
-    core::IcoilController icoil_probe(core::IcoilConfig{}, *policy);
-    const sim::EpisodeResult icoil_res = simulator.run(sc, icoil_probe, candidate);
+    const auto icoil_probe = registry.build("icoil", build_args);
+    const sim::EpisodeResult icoil_res =
+        simulator.run(sc, *icoil_probe, candidate);
     if (!icoil_res.success()) continue;
     seed = candidate;
     il_run = il_res;
@@ -75,10 +78,10 @@ int main() {
   }
   if (icoil_run.trace.empty()) {
     const world::Scenario sc = world::make_scenario(options, seed);
-    core::IcoilController icoil(core::IcoilConfig{}, *policy);
-    icoil_run = simulator.run(sc, icoil, seed);
-    core::IlController il(*policy);
-    il_run = simulator.run(sc, il, seed);
+    const auto icoil = registry.build("icoil", build_args);
+    icoil_run = simulator.run(sc, *icoil, seed);
+    const auto il = registry.build("il", build_args);
+    il_run = simulator.run(sc, *il, seed);
   }
   const world::Scenario scenario = world::make_scenario(options, seed);
 

@@ -7,7 +7,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "core/icoil_controller.hpp"
+#include "core/controller_registry.hpp"
 #include "mathkit/table.hpp"
 #include "sim/simulator.hpp"
 
@@ -23,8 +23,9 @@ int main() {
   sim_config.record_trace = true;
   sim::Simulator simulator(sim_config);
 
-  core::IcoilController controller(core::IcoilConfig{}, *policy);
-  const sim::EpisodeResult run = simulator.run(scenario, controller, 911);
+  const auto controller = core::ControllerRegistry::instance().build(
+      "icoil", {.policy = policy.get()});
+  const sim::EpisodeResult run = simulator.run(scenario, *controller, 911);
 
   std::printf("Fig. 7 — HSA timeline over one iCOIL episode (seed 911): %s in "
               "%.1f s, %d mode switches\n\n",

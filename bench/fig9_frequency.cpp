@@ -9,8 +9,7 @@
 #include <memory>
 
 #include "bench_util.hpp"
-#include "core/co_controller.hpp"
-#include "core/il_controller.hpp"
+#include "core/controller_registry.hpp"
 #include "il/observation.hpp"
 #include "sensing/bev.hpp"
 #include "sim/simulator.hpp"
@@ -38,12 +37,13 @@ vehicle::State bench_state() {
 void BM_IlMode(benchmark::State& state) {
   const world::Scenario sc = bench_scenario();
   world::World world(sc);
-  core::IlController controller(*g_policy);
-  controller.reset(sc);
+  const auto controller = core::ControllerRegistry::instance().build(
+      "il", {.policy = g_policy.get()});
+  controller->reset(sc);
   math::Rng rng(1);
   const vehicle::State ego = bench_state();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(controller.act(world, ego, rng));
+    benchmark::DoNotOptimize(controller->act(world, ego, rng));
   }
 }
 BENCHMARK(BM_IlMode)->Unit(benchmark::kMillisecond);
@@ -51,12 +51,12 @@ BENCHMARK(BM_IlMode)->Unit(benchmark::kMillisecond);
 void BM_CoMode(benchmark::State& state) {
   const world::Scenario sc = bench_scenario();
   world::World world(sc);
-  core::CoController controller(co::CoPlannerConfig{}, vehicle::VehicleParams{});
-  controller.reset(sc);
+  const auto controller = core::ControllerRegistry::instance().build("co");
+  controller->reset(sc);
   math::Rng rng(1);
   const vehicle::State ego = bench_state();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(controller.act(world, ego, rng));
+    benchmark::DoNotOptimize(controller->act(world, ego, rng));
   }
 }
 BENCHMARK(BM_CoMode)->Unit(benchmark::kMillisecond);
@@ -102,10 +102,11 @@ void report_frequencies() {
                                                         run.trace.size()));
   };
 
-  core::IlController il(*g_policy);
-  core::CoController co(co::CoPlannerConfig{}, vehicle::VehicleParams{});
-  const double il_hz = measure(il);
-  const double co_hz = measure(co);
+  const auto& registry = core::ControllerRegistry::instance();
+  const auto il = registry.build("il", {.policy = g_policy.get()});
+  const auto co = registry.build("co");
+  const double il_hz = measure(*il);
+  const double co_hz = measure(*co);
   std::printf("\nFig. 9 / V-E — average execution frequency over an episode:\n");
   std::printf("  IL mode: %.0f Hz (paper: ~75 Hz)\n", il_hz);
   std::printf("  CO mode: %.0f Hz (paper: ~18 Hz)\n", co_hz);

@@ -13,10 +13,8 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "core/co_controller.hpp"
+#include "core/controller_registry.hpp"
 #include "core/task_pool.hpp"
-#include "core/icoil_controller.hpp"
-#include "core/il_controller.hpp"
 #include "mathkit/table.hpp"
 #include "sim/evaluator.hpp"
 #include "sim/report.hpp"
@@ -28,7 +26,7 @@ namespace icoil::bench {
 /// subcommand inside run_suite_command).
 struct RunSuiteOptions {
   int episodes = -1;           ///< -1 = subcommand default (env-overridable)
-  std::string methods;         ///< csv of icoil,il,co; "" = subcommand default
+  std::string methods;         ///< csv of registry keys; "" = subcommand default
   std::string report_path;     ///< write a RunReport JSON here when set
   std::string baseline_path;   ///< compare against this RunReport when set
   std::string csv_path;        ///< "" = subcommand default (may be none)
@@ -36,8 +34,27 @@ struct RunSuiteOptions {
   bool quick = false;          ///< smoke mode: 2 episodes, no training
   int threads = 0;             ///< EvalConfig::num_threads (0 = hardware)
   double wall_budget = 0.0;    ///< per-cell wall-clock budget [s]; <=0 = off
+  double frame_deadline_ms = 0.0;  ///< per-frame controller budget; <=0 = off
+  /// Pool-level abort token (typically tripped by a SIGINT handler): when it
+  /// cancels mid-run, evaluation drains promptly and the partial report is
+  /// still written, flagged meta.aborted.
+  const core::CancelToken* abort = nullptr;
   sim::BaselineTolerance tolerance;
 };
+
+/// Prints the controller registry (key, label, description) — the
+/// `bench_suite --list-methods` discovery listing.
+inline void print_registered_methods(std::FILE* out) {
+  const auto& registry = core::ControllerRegistry::instance();
+  std::fprintf(out, "Registered controller methods (%zu):\n", registry.size());
+  for (const std::string& key : registry.keys()) {
+    const core::ControllerSpec& spec = *registry.find(key);
+    std::fprintf(out, "  %-12s %-12s %s%s\n", key.c_str(),
+                 ("[" + spec.display_name + "]").c_str(),
+                 spec.description.c_str(),
+                 spec.needs_policy ? " (needs trained policy)" : "");
+  }
+}
 
 namespace detail {
 
@@ -148,49 +165,42 @@ inline int run_suite_command(const std::string& which, RunSuiteOptions opts) {
   if (opts.wall_budget > 0.0)
     for (sim::SuiteCell& cell : suite.cells) cell.wall_budget = opts.wall_budget;
 
-  // Resolve methods up front; the trained policy loads (or trains) once and
-  // only when an IL-based method asks for it. It must be constructed HERE,
-  // on the main thread, before evaluation starts: the evaluator invokes the
-  // controller factories concurrently from its pool workers, so a lazy
-  // first-use construction inside a factory would race.
+  // Resolve methods up front through the controller registry; the trained
+  // policy loads (or trains) once and only when a policy-backed method asks
+  // for it. It must be constructed HERE, on the main thread, before
+  // evaluation starts: the evaluator invokes the controller factories
+  // concurrently from its pool workers, so a lazy first-use construction
+  // inside a factory would race.
   struct Method {
     std::string name;
     core::ControllerFactory factory;
   };
+  const auto& registry = core::ControllerRegistry::instance();
   std::unique_ptr<il::IlPolicy> policy;
-  auto policy_ref = [&]() -> il::IlPolicy& {
-    if (!policy) policy = shared_policy();
-    return *policy;
-  };
   std::vector<Method> methods;
   for (const std::string& m : detail::split_csv(opts.methods)) {
-    if (m == "icoil") {
-      il::IlPolicy& p = policy_ref();
-      methods.push_back({"iCOIL", [&p] {
-                           return std::make_unique<core::IcoilController>(
-                               core::IcoilConfig{}, p);
-                         }});
-    } else if (m == "il") {
-      il::IlPolicy& p = policy_ref();
-      methods.push_back({"IL [2]", [&p] {
-                           return std::make_unique<core::IlController>(p);
-                         }});
-    } else if (m == "co") {
-      methods.push_back({"CO (ref)", [] {
-                           return std::make_unique<core::CoController>(
-                               co::CoPlannerConfig{}, vehicle::VehicleParams{});
-                         }});
-    } else {
+    const core::ControllerSpec* spec = registry.find(m);
+    if (spec == nullptr) {
       std::fprintf(stderr,
-                   "bench_suite: unknown method \"%s\" (expected icoil|il|co)\n",
+                   "bench_suite: unknown method \"%s\" — run --list-methods "
+                   "for the registered keys\n",
                    m.c_str());
       return 2;
     }
+    core::ControllerBuildArgs args;
+    if (spec->needs_policy) {
+      if (!policy) policy = shared_policy();
+      args.policy = policy.get();
+    }
+    methods.push_back({spec->display_name, registry.factory(m, args)});
   }
 
   sim::EvalConfig eval_config;
   eval_config.episodes = opts.episodes;
   eval_config.num_threads = opts.threads;
+  eval_config.abort = opts.abort;
+  if (opts.frame_deadline_ms > 0.0)
+    eval_config.sim.frame_deadline_ms = opts.frame_deadline_ms;
   sim::Evaluator evaluator(eval_config);
 
   sim::RunReport report;
@@ -202,9 +212,14 @@ inline int run_suite_command(const std::string& which, RunSuiteOptions opts) {
   report.meta.base_seed = eval_config.base_seed;
   report.meta.config_fingerprint = sim::config_fingerprint(eval_config);
 
+  const auto aborted = [&] {
+    return opts.abort != nullptr && opts.abort->cancelled();
+  };
+
   math::TextTable table({"cell", "method", "avg [s]", "std [s]", "max [s]",
                          "min [s]", "success", "over budget", "episodes"});
   for (const Method& method : methods) {
+    if (aborted()) break;  // drain: later methods never even start
     const auto detailed = evaluator.evaluate_suite_detailed(
         method.factory, suite,
         [&](const sim::SuiteCell& cell, int completed, int total) {
@@ -234,9 +249,12 @@ inline int run_suite_command(const std::string& which, RunSuiteOptions opts) {
     }
   }
 
-  std::printf("\n%s (%d episodes/cell, %d worker thread%s)\n\n",
+  report.meta.aborted = aborted();
+
+  std::printf("\n%s (%d episodes/cell, %d worker thread%s)%s\n\n",
               detail::suite_title(which).c_str(), opts.episodes,
-              report.meta.threads, report.meta.threads == 1 ? "" : "s");
+              report.meta.threads, report.meta.threads == 1 ? "" : "s",
+              report.meta.aborted ? " — ABORTED, partial results" : "");
   table.print(std::cout);
   if (!opts.csv_path.empty()) table.save_csv(opts.csv_path);
 
@@ -246,8 +264,17 @@ inline int run_suite_command(const std::string& which, RunSuiteOptions opts) {
       std::fprintf(stderr, "bench_suite: %s\n", error.c_str());
       return 3;
     }
-    std::fprintf(stderr, "[%s] report written to %s\n", which.c_str(),
+    std::fprintf(stderr, "[%s] %sreport written to %s\n", which.c_str(),
+                 report.meta.aborted ? "partial (aborted) " : "",
                  opts.report_path.c_str());
+  }
+
+  if (report.meta.aborted) {
+    // 128 + SIGINT, the conventional "died on ctrl-C" exit — but only after
+    // the partial report hit disk. Baseline gating a partial run would only
+    // produce spurious regressions, so it is skipped.
+    std::fprintf(stderr, "[%s] aborted by cancellation token\n", which.c_str());
+    return 130;
   }
 
   if (!opts.baseline_path.empty()) {

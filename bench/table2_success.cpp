@@ -47,21 +47,22 @@ int run_curriculum_compare() {
       {world::StartClass::kRandom});
   suite.name = "table2_curriculum";
 
+  // Same registry method, two differently-trained policies: the factory is
+  // resolved through the controller registry, only the policy (and the row
+  // label) differs per row.
+  const auto& registry = core::ControllerRegistry::instance();
+  auto icoil_with = [&](const il::IlPolicy& policy) {
+    core::ControllerBuildArgs args;
+    args.policy = &policy;
+    return registry.factory("icoil", args);
+  };
   struct Row {
     const char* name;
     core::ControllerFactory factory;
   };
   const Row rows[] = {
-      {"iCOIL/canonical",
-       [&] {
-         return std::make_unique<core::IcoilController>(core::IcoilConfig{},
-                                                        *canonical_policy);
-       }},
-      {"iCOIL/all",
-       [&] {
-         return std::make_unique<core::IcoilController>(core::IcoilConfig{},
-                                                        *curriculum_policy);
-       }},
+      {"iCOIL/canonical", icoil_with(*canonical_policy)},
+      {"iCOIL/all", icoil_with(*curriculum_policy)},
   };
 
   std::vector<std::vector<sim::SuiteCellResult>> per_method;

@@ -8,7 +8,7 @@
 #include <cstring>
 #include <fstream>
 
-#include "core/icoil_controller.hpp"
+#include "core/controller_registry.hpp"
 #include "sim/policy_store.hpp"
 #include "sim/simulator.hpp"
 
@@ -28,11 +28,12 @@ int main(int argc, char** argv) {
   options.difficulty = level;
   const world::Scenario scenario = world::make_scenario(options, seed);
 
-  core::IcoilController controller(core::IcoilConfig{}, *policy);
+  const auto controller = core::ControllerRegistry::instance().build(
+      "icoil", {.policy = policy.get()});
   sim::SimConfig sim_config;
   sim_config.record_trace = true;
   const sim::EpisodeResult result =
-      sim::Simulator(sim_config).run(scenario, controller, seed);
+      sim::Simulator(sim_config).run(scenario, *controller, seed);
 
   std::ofstream csv(out_path);
   if (!csv) {

@@ -9,9 +9,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/co_controller.hpp"
-#include "core/icoil_controller.hpp"
-#include "core/il_controller.hpp"
+#include "core/controller_registry.hpp"
 #include "mathkit/table.hpp"
 #include "sim/evaluator.hpp"
 #include "sim/policy_store.hpp"
@@ -29,26 +27,20 @@ int main(int argc, char** argv) {
   math::TextTable table({"level", "method", "success", "collisions", "timeouts",
                          "time mean [s]", "IL frames"});
 
+  // The standard methods come from the controller registry; the policy is
+  // shared (each factory call clones it into its controller).
+  const auto& registry = core::ControllerRegistry::instance();
+  const core::ControllerBuildArgs build_args{.policy = policy.get()};
+
   for (auto level : {world::Difficulty::kEasy, world::Difficulty::kNormal,
                      world::Difficulty::kHard}) {
     world::ScenarioOptions options;
     options.difficulty = level;
 
-    const std::pair<const char*, core::ControllerFactory> methods[] = {
-        {"iCOIL",
-         [&] {
-           return std::make_unique<core::IcoilController>(core::IcoilConfig{},
-                                                          *policy);
-         }},
-        {"IL", [&] { return std::make_unique<core::IlController>(*policy); }},
-        {"CO",
-         [&] {
-           return std::make_unique<core::CoController>(co::CoPlannerConfig{},
-                                                       vehicle::VehicleParams{});
-         }},
-    };
-    for (const auto& [name, factory] : methods) {
-      const sim::Aggregate agg = evaluator.evaluate(factory, options, name);
+    for (const char* key : {"icoil", "il", "co"}) {
+      const char* name = registry.at(key).display_name.c_str();
+      const sim::Aggregate agg =
+          evaluator.evaluate(registry.factory(key, build_args), options, name);
       table.add_row(
           {world::to_string(level), name,
            math::format_double(100.0 * agg.success_ratio(), 0) + "%",

@@ -14,7 +14,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/co_controller.hpp"
+#include "core/controller_registry.hpp"
 #include "mathkit/table.hpp"
 #include "sim/evaluator.hpp"
 #include "world/generators/registry.hpp"
@@ -66,11 +66,7 @@ int main(int argc, char** argv) {
   sim::Evaluator evaluator(eval_config);
 
   const auto results = evaluator.evaluate_suite(
-      [] {
-        return std::make_unique<core::CoController>(co::CoPlannerConfig{},
-                                                    vehicle::VehicleParams{});
-      },
-      suite, "CO");
+      core::ControllerRegistry::instance().factory("co"), suite, "CO");
 
   math::TextTable table({"generator", "difficulty", "success", "collisions",
                          "timeouts", "over budget", "time mean [s]",

@@ -70,7 +70,8 @@ RefPath HybridAStar::reeds_shepp_fallback(const geom::Pose2& start,
 std::optional<RefPath> HybridAStar::plan(const geom::Pose2& start,
                                          const geom::Pose2& goal,
                                          const std::vector<geom::Obb>& obstacles,
-                                         const geom::Aabb& bounds) const {
+                                         const geom::Aabb& bounds,
+                                         const core::FrameContext* frame) const {
   const double radius = params_.min_turn_radius() * config_.rs_radius_factor;
   const ReedsShepp rs(radius);
   // Broad-phase cache: every expansion probes the same obstacle set.
@@ -113,7 +114,14 @@ std::optional<RefPath> HybridAStar::plan(const geom::Pose2& start,
   std::vector<RsSample> shot;   // successful analytic expansion
   int shot_parent = -1;
 
+  // Frame-budget poll stride: cheap enough to keep latency bounded without
+  // paying a clock read per expansion.
+  constexpr int kBudgetPollStride = 128;
+
   while (!open.empty() && expansions < config_.max_expansions) {
+    if (frame != nullptr && expansions % kBudgetPollStride == 0 &&
+        frame->expired())
+      return std::nullopt;  // budget gone: let the caller fall back
     const QueueEntry top = open.top();
     open.pop();
     const int ni = top.node;

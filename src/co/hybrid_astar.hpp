@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "co/refpath.hpp"
+#include "core/frame_context.hpp"
 #include "geom/aabb.hpp"
 #include "geom/broadphase.hpp"
 #include "geom/obb.hpp"
@@ -43,9 +44,12 @@ class HybridAStar {
 
   /// Plan from `start` to `goal` around `obstacles` inside `bounds`.
   /// Returns nullopt when no path is found within the expansion budget.
+  /// With `frame` set, the node-expansion loop polls it and gives up early
+  /// (nullopt — callers fall back to Reeds-Shepp) once the budget trips.
   std::optional<RefPath> plan(const geom::Pose2& start, const geom::Pose2& goal,
                               const std::vector<geom::Obb>& obstacles,
-                              const geom::Aabb& bounds) const;
+                              const geom::Aabb& bounds,
+                              const core::FrameContext* frame = nullptr) const;
 
   /// Straight-to-goal fallback: a pure Reeds-Shepp path ignoring obstacles.
   /// Used when the search budget is exhausted (the MPC still avoids

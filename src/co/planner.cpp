@@ -13,11 +13,13 @@ CoPlanner::CoPlanner(CoPlannerConfig config, vehicle::VehicleParams params)
 
 bool CoPlanner::plan_reference(const geom::Pose2& start, const geom::Pose2& goal,
                                const std::vector<geom::Obb>& static_obstacles,
-                               const geom::Aabb& bounds) {
+                               const geom::Aabb& bounds,
+                               const core::FrameContext* frame) {
   bool planned = true;
+  pending_plan_ = false;  // a direct plan overrides a deferred one
   static_obstacles_ = static_obstacles;
   bounds_ = bounds;
-  if (auto path = astar_.plan(start, goal, static_obstacles, bounds)) {
+  if (auto path = astar_.plan(start, goal, static_obstacles, bounds, frame)) {
     ref_ = std::move(*path);
   } else {
     ref_ = astar_.reeds_shepp_fallback(start, goal);
@@ -27,9 +29,32 @@ bool CoPlanner::plan_reference(const geom::Pose2& start, const geom::Pose2& goal
   return planned;
 }
 
+void CoPlanner::defer_reference(const geom::Pose2& start,
+                                const geom::Pose2& goal,
+                                std::vector<geom::Obb> static_obstacles,
+                                const geom::Aabb& bounds) {
+  pending_plan_ = true;
+  pending_start_ = start;
+  pending_goal_ = goal;
+  pending_static_ = std::move(static_obstacles);
+  pending_bounds_ = bounds;
+  // The old episode's reference is stale the moment a new one is deferred.
+  ref_ = RefPath{};
+  reset_progress();
+}
+
+void CoPlanner::ensure_reference(const core::FrameContext* frame) {
+  if (!pending_plan_) return;
+  pending_plan_ = false;
+  plan_reference(pending_start_, pending_goal_, pending_static_,
+                 pending_bounds_, frame);
+  pending_static_.clear();
+}
+
 void CoPlanner::set_reference(RefPath path,
                               std::vector<geom::Obb> static_obstacles,
                               std::optional<geom::Aabb> bounds) {
+  pending_plan_ = false;  // an explicit reference overrides a deferred plan
   ref_ = std::move(path);
   static_obstacles_ = std::move(static_obstacles);
   bounds_ = bounds;
@@ -207,7 +232,9 @@ std::vector<TargetPoint> CoPlanner::build_targets(const vehicle::State& state) {
 }
 
 vehicle::Command CoPlanner::act(const vehicle::State& state,
-                                const std::vector<sense::Detection>& detections) {
+                                const std::vector<sense::Detection>& detections,
+                                const core::FrameContext* frame) {
+  ensure_reference(frame);
   if (ref_.empty() || phases_.empty()) return vehicle::Command::full_stop();
 
   // Parked? Hold still.
@@ -230,8 +257,8 @@ vehicle::Command CoPlanner::act(const vehicle::State& state,
   for (const sense::Detection& d : detections)
     obstacles.push_back({d.box, d.dynamic ? d.velocity : geom::Vec2{}});
 
-  last_result_ =
-      trajopt_.solve(state, targets, obstacles, warm_.empty() ? nullptr : &warm_);
+  last_result_ = trajopt_.solve(state, targets, obstacles,
+                                warm_.empty() ? nullptr : &warm_, frame);
   if (!last_result_.ok) {
     warm_.clear();
     return vehicle::Command::full_stop();

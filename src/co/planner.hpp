@@ -59,11 +59,26 @@ class CoPlanner {
   std::size_t current_phase() const { return phase_; }
 
   /// Plan the reference path from `start` to `goal` around the static
-  /// obstacles. Returns false when hybrid A* fails and the Reeds-Shepp
-  /// fallback was used instead.
+  /// obstacles. Returns false when hybrid A* fails (search exhausted, or a
+  /// `frame` budget tripped mid-search) and the Reeds-Shepp fallback was
+  /// used instead.
   bool plan_reference(const geom::Pose2& start, const geom::Pose2& goal,
                       const std::vector<geom::Obb>& static_obstacles,
-                      const geom::Aabb& bounds);
+                      const geom::Aabb& bounds,
+                      const core::FrameContext* frame = nullptr);
+
+  /// Captures an episode's planning inputs WITHOUT running the search; the
+  /// next ensure_reference()/act() plans them. Deferring lets the heavy
+  /// hybrid-A* search run under the first control frame's budget context
+  /// instead of unbudgeted at episode setup (how the controllers use it).
+  void defer_reference(const geom::Pose2& start, const geom::Pose2& goal,
+                       std::vector<geom::Obb> static_obstacles,
+                       const geom::Aabb& bounds);
+
+  /// Runs a deferred plan if one is pending (no-op otherwise). act() calls
+  /// this itself; controllers that need the plan earlier in their frame
+  /// (e.g. before a mode decision) call it explicitly.
+  void ensure_reference(const core::FrameContext* frame = nullptr);
 
   /// Set an externally computed reference (tests / replay). Optional
   /// obstacles let the switch extensions be collision-checked.
@@ -71,8 +86,12 @@ class CoPlanner {
                      std::optional<geom::Aabb> bounds = std::nullopt);
 
   /// One control step: track the reference while avoiding `detections`.
+  /// With `frame` set, the trajectory optimizer polls the frame budget
+  /// between SQP rounds and returns its best-so-far control when it trips
+  /// (graceful per-frame degradation instead of a blown deadline).
   vehicle::Command act(const vehicle::State& state,
-                       const std::vector<sense::Detection>& detections);
+                       const std::vector<sense::Detection>& detections,
+                       const core::FrameContext* frame = nullptr);
 
   /// The H target points the MPC would track from `state` (exposed for
   /// tests and telemetry).
@@ -96,6 +115,11 @@ class CoPlanner {
   RefPath ref_;
   std::vector<geom::Obb> static_obstacles_;
   std::optional<geom::Aabb> bounds_;
+  // Deferred-plan inputs (defer_reference -> ensure_reference).
+  bool pending_plan_ = false;
+  geom::Pose2 pending_start_, pending_goal_;
+  std::vector<geom::Obb> pending_static_;
+  geom::Aabb pending_bounds_;
   std::vector<PathPhase> phases_;
   std::size_t phase_ = 0;
   std::size_t progress_ = 0;   ///< nearest-index hint within the phase

@@ -88,8 +88,8 @@ Lin linearize(const vehicle::State& s, double theta_lift,
 TrajOptResult TrajOpt::solve(const vehicle::State& current,
                              const std::vector<TargetPoint>& targets,
                              const std::vector<PredictedObstacle>& obstacles,
-                             const std::vector<vehicle::PlannerControl>* warm)
-    const {
+                             const std::vector<vehicle::PlannerControl>* warm,
+                             const core::FrameContext* frame) const {
   TrajOptResult res;
   const int H = config_.horizon;
   if (static_cast<int>(targets.size()) < H) return res;
@@ -140,6 +140,11 @@ TrajOptResult TrajOpt::solve(const vehicle::State& current,
       active.push_back(&o);
 
   for (int sqp = 0; sqp < config_.sqp_iterations; ++sqp) {
+    // Frame-budget poll between SQP rounds: the first round always runs so
+    // a deadline-pressed frame still gets a usable (best-so-far) control;
+    // later rounds only refine it.
+    if (sqp > 0 && frame != nullptr && frame->expired()) break;
+
     // Nominal rollout.
     std::vector<vehicle::State> nominal(static_cast<std::size_t>(H + 1));
     nominal[0] = current;

@@ -3,6 +3,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/frame_context.hpp"
 #include "geom/obb.hpp"
 #include "mathkit/qp.hpp"
 #include "vehicle/kinematics.hpp"
@@ -72,12 +73,15 @@ class TrajOpt {
 
   /// Solve the MPC from `current`, tracking `targets` (size >= horizon) and
   /// avoiding `obstacles`. `warm_start` carries the previous solution's
-  /// controls (shifted internally).
+  /// controls (shifted internally). With `frame` set, the SQP loop polls it
+  /// between convexify-and-solve rounds and returns the best-so-far result
+  /// (at least one round always runs) once the frame budget trips.
   TrajOptResult solve(const vehicle::State& current,
                       const std::vector<TargetPoint>& targets,
                       const std::vector<PredictedObstacle>& obstacles,
                       const std::vector<vehicle::PlannerControl>* warm_start =
-                          nullptr) const;
+                          nullptr,
+                      const core::FrameContext* frame = nullptr) const;
 
   /// Disc centres (longitudinal offsets from the rear axle) and radius used
   /// to approximate the footprint in constraint (5).

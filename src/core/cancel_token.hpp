@@ -20,9 +20,23 @@ class CancelToken {
 
   void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
 
-  /// True once cancel() was called or an armed deadline has passed.
+  /// Links `parent` so this token also reports cancelled once the parent
+  /// does — pool-level cancellation: one shared abort token (e.g. a SIGINT
+  /// handler's) fans into every per-cell token of a suite run. The parent
+  /// must outlive this token; link before sharing across threads.
+  void link_parent(const CancelToken* parent) noexcept {
+    parent_.store(parent, std::memory_order_relaxed);
+  }
+
+  /// True once cancel() was called, an armed deadline has passed, or a
+  /// linked parent token reports cancelled.
   bool cancelled() const noexcept {
     if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (const CancelToken* parent = parent_.load(std::memory_order_relaxed);
+        parent != nullptr && parent->cancelled()) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
     const std::int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
     if (deadline == 0) return false;
     if (std::chrono::steady_clock::now().time_since_epoch().count() < deadline)
@@ -54,6 +68,7 @@ class CancelToken {
  private:
   mutable std::atomic<bool> cancelled_{false};
   std::atomic<std::int64_t> deadline_ns_{0};  ///< steady_clock ns; 0 = none
+  std::atomic<const CancelToken*> parent_{nullptr};
 };
 
 }  // namespace icoil::core

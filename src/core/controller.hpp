@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "core/frame_context.hpp"
 #include "core/hsa.hpp"
 #include "mathkit/rng.hpp"
 #include "vehicle/kinematics.hpp"
@@ -21,6 +22,9 @@ struct FrameInfo {
   double ratio = 0.0;         ///< f_HSA = U_i / C_i
   vehicle::Command command;
   double solve_ms = 0.0;      ///< wall time spent in this act() call
+  /// True when this frame's FrameContext deadline tripped and the
+  /// controller returned a best-so-far (degraded) command.
+  bool deadline_hit = false;
 };
 
 /// Driving-policy interface shared by the iCOIL controller and the pure IL
@@ -37,9 +41,22 @@ class Controller {
   /// sensor noise, clear windows).
   virtual void reset(const world::Scenario& scenario) = 0;
 
-  /// Produce the driving command for the current frame.
+  /// Produce the driving command for the current frame. `frame` carries the
+  /// episode RNG plus this frame's wall-clock budget and cancellation
+  /// handle; budget-aware controllers poll frame.expired() inside their
+  /// inner loops and return best-so-far commands when it trips.
   virtual vehicle::Command act(const world::World& world,
-                               const vehicle::State& state, math::Rng& rng) = 0;
+                               const vehicle::State& state,
+                               FrameContext& frame) = 0;
+
+  /// Convenience for callers without budget plumbing (tests, probes,
+  /// micro-benchmarks): wraps `rng` in an unlimited FrameContext. Concrete
+  /// controllers re-export it with `using Controller::act;`.
+  vehicle::Command act(const world::World& world, const vehicle::State& state,
+                       math::Rng& rng) {
+    FrameContext frame(rng);
+    return act(world, state, frame);
+  }
 
   /// Telemetry of the most recent act() call.
   virtual const FrameInfo& last_frame() const = 0;

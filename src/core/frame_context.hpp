@@ -1,0 +1,62 @@
+#pragma once
+
+#include <chrono>
+
+#include "core/cancel_token.hpp"
+#include "mathkit/rng.hpp"
+
+namespace icoil::core {
+
+/// Per-frame execution context handed to Controller::act: the episode RNG,
+/// an optional episode-level CancelToken, and an optional wall-clock budget
+/// for THIS control frame. Budgets are advisory: long-running code inside a
+/// controller (hybrid-A* expansions, SQP rounds) polls expired() and
+/// returns its best-so-far answer instead of blowing the frame, so one slow
+/// frame degrades gracefully rather than eating the episode budget. The
+/// clock starts at construction; a context is one frame's, not reusable.
+class FrameContext {
+ public:
+  explicit FrameContext(math::Rng& rng, const CancelToken* cancel = nullptr,
+                        double deadline_ms = 0.0)
+      : rng_(&rng), cancel_(cancel), deadline_ms_(deadline_ms),
+        start_(std::chrono::steady_clock::now()) {}
+
+  FrameContext(const FrameContext&) = delete;
+  FrameContext& operator=(const FrameContext&) = delete;
+
+  math::Rng& rng() const { return *rng_; }
+  const CancelToken* cancel_token() const { return cancel_; }
+
+  bool has_deadline() const { return deadline_ms_ > 0.0; }
+  double deadline_ms() const { return deadline_ms_; }
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  /// True once the frame budget is exhausted or the episode token tripped.
+  /// Polling is what arms the sticky deadline_hit() flag, so controllers
+  /// that never poll never report a hit (they never promised to degrade).
+  bool expired() const {
+    if (deadline_ms_ > 0.0 && elapsed_ms() >= deadline_ms_) {
+      deadline_hit_ = true;
+      return true;
+    }
+    return cancel_ != nullptr && cancel_->cancelled();
+  }
+
+  /// True when a poll ever observed the frame deadline exhausted (episode
+  /// cancellation does not count — that ends the episode, not the frame).
+  bool deadline_hit() const { return deadline_hit_; }
+
+ private:
+  math::Rng* rng_;
+  const CancelToken* cancel_;
+  double deadline_ms_;
+  std::chrono::steady_clock::time_point start_;
+  mutable bool deadline_hit_ = false;
+};
+
+}  // namespace icoil::core

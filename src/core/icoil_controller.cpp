@@ -22,26 +22,34 @@ void IcoilController::reset(const world::Scenario& scenario) {
   safety_.reset();
   frame_ = {};
 
+  // Planning deferred to the first act() so hybrid-A* runs under that
+  // frame's budget context.
   std::vector<geom::Obb> static_boxes;
   for (const world::Obstacle& o : scenario.obstacles)
     if (!o.dynamic()) static_boxes.push_back(o.shape);
-  planner_.plan_reference(scenario.start_pose, scenario.map.goal_pose,
-                          static_boxes, scenario.map.bounds);
+  planner_.defer_reference(scenario.start_pose, scenario.map.goal_pose,
+                           std::move(static_boxes), scenario.map.bounds);
 }
 
 vehicle::Command IcoilController::act(const world::World& world,
                                       const vehicle::State& state,
-                                      math::Rng& rng) {
+                                      FrameContext& frame) {
   const auto t0 = std::chrono::steady_clock::now();
+
+  // Plan the deferred reference up front, not on the CO branch: it must
+  // exist whichever mode wins this frame, or the first CO takeover after an
+  // IL start would pay the full search mid-episode.
+  planner_.ensure_reference(&frame);
 
   // (a) IL inference — always runs; HSA needs the output distribution.
   sense::BevImage bev = rasterizer_.render(world, state.pose);
-  if (noise_) noise_->apply(bev, rng);
+  if (noise_) noise_->apply(bev, frame.rng());
   const il::Inference inf =
       policy_->infer(il::make_observation(bev, state.speed));
 
   // (b) Obstacle distances for the complexity model (eq. 8).
-  const auto detections = detector_->detect(world, state.pose.position, rng);
+  const auto detections =
+      detector_->detect(world, state.pose.position, frame.rng());
   const geom::Obb ego = model_.footprint(state);
   std::vector<double> distances;
   distances.reserve(detections.size());
@@ -58,7 +66,7 @@ vehicle::Command IcoilController::act(const world::World& world,
     // Optional guard: veto IL actions whose short-horizon rollout collides.
     cmd = safety_.filter(world, state, inf.command);
   } else {
-    cmd = planner_.act(state, detections);
+    cmd = planner_.act(state, detections, &frame);
   }
 
   frame_.mode = mode;
@@ -67,6 +75,7 @@ vehicle::Command IcoilController::act(const world::World& world,
   frame_.complexity = hsa_.normalized_complexity();
   frame_.ratio = hsa_.ratio();
   frame_.command = cmd;
+  frame_.deadline_hit = frame.deadline_hit();
   frame_.solve_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                 t0)

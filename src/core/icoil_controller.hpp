@@ -33,8 +33,9 @@ class IcoilController final : public Controller {
 
   std::string name() const override { return "iCOIL"; }
   void reset(const world::Scenario& scenario) override;
+  using Controller::act;
   vehicle::Command act(const world::World& world, const vehicle::State& state,
-                       math::Rng& rng) override;
+                       FrameContext& frame) override;
   const FrameInfo& last_frame() const override { return frame_; }
 
   const Hsa& hsa() const { return hsa_; }

@@ -16,10 +16,11 @@ void IlController::reset(const world::Scenario& scenario) {
 }
 
 vehicle::Command IlController::act(const world::World& world,
-                                   const vehicle::State& state, math::Rng& rng) {
+                                   const vehicle::State& state,
+                                   FrameContext& frame) {
   const auto t0 = std::chrono::steady_clock::now();
   sense::BevImage bev = rasterizer_.render(world, state.pose);
-  if (noise_) noise_->apply(bev, rng);
+  if (noise_) noise_->apply(bev, frame.rng());
   const il::Inference inf =
       policy_->infer(il::make_observation(bev, state.speed));
   frame_.mode = Mode::kIl;
@@ -28,6 +29,9 @@ vehicle::Command IlController::act(const world::World& world,
   frame_.complexity = 0.0;
   frame_.ratio = 0.0;
   frame_.command = inf.command;
+  // One indivisible forward pass: nothing to degrade, so a deadline is
+  // never reported hit here.
+  frame_.deadline_hit = false;
   frame_.solve_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                 t0)

@@ -19,8 +19,9 @@ class IlController final : public Controller {
 
   std::string name() const override { return "IL"; }
   void reset(const world::Scenario& scenario) override;
+  using Controller::act;
   vehicle::Command act(const world::World& world, const vehicle::State& state,
-                       math::Rng& rng) override;
+                       FrameContext& frame) override;
   const FrameInfo& last_frame() const override { return frame_; }
 
   /// Direct access to the policy inference for tests.

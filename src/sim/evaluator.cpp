@@ -4,6 +4,7 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <utility>
 
 #include "core/task_pool.hpp"
 
@@ -51,6 +52,7 @@ Aggregate aggregate_episodes(const std::vector<EpisodeResult>& results,
         ++agg.budget_exceeded;
         break;
     }
+    agg.deadline_hits += r.deadline_hits;
     agg.il_fraction.add(r.il_fraction);
     // Episodes that never saw an obstacle keep the sentinel; they carry no
     // clearance information, so they are excluded from the statistic.
@@ -63,27 +65,9 @@ Aggregate aggregate_episodes(const std::vector<EpisodeResult>& results,
 std::vector<EpisodeResult> Evaluator::evaluate_detailed(
     const core::ControllerFactory& factory,
     const world::ScenarioOptions& options) const {
-  const int n = config_.episodes;
-  std::vector<EpisodeResult> results(static_cast<std::size_t>(n));
-
-  // Everything tasks capture must outlive the pool: the pool is declared
-  // LAST so an exception mid-submit joins the workers before any of it is
-  // torn down.
-  std::vector<WorkerState> states(
-      static_cast<std::size_t>(resolved_workers(n)));
-  const Simulator sim(config_.sim);
-  core::TaskPool pool(static_cast<int>(states.size()));
-  for (int i = 0; i < n; ++i) {
-    pool.submit([&, i](const core::TaskPool::Context& ctx) {
-      const std::uint64_t seed =
-          config_.base_seed + static_cast<std::uint64_t>(i);
-      const world::Scenario scenario = world::make_scenario(options, seed);
-      results[static_cast<std::size_t>(i)] =
-          sim.run(scenario, worker_controller(states, ctx, factory), seed);
-    });
-  }
-  pool.wait_idle();
-  return results;
+  ScenarioSuite suite;
+  suite.add(SuiteCell::from_options(options));
+  return std::move(evaluate_suite_detailed(factory, suite).front().episodes);
 }
 
 Aggregate Evaluator::evaluate(const core::ControllerFactory& factory,
@@ -119,10 +103,14 @@ std::vector<SuiteCellEpisodes> Evaluator::evaluate_suite_detailed(
   // seeds match what a per-cell evaluate() would use. Every cell's episodes
   // share one CancelToken, so a positive wall_budget bounds the WHOLE
   // cell's wall-clock time from its first episode's start.
+  // Each cell token links the pool-level abort token (when configured), so
+  // a SIGINT-style abort drains every cell at once.
   std::vector<std::shared_ptr<core::CancelToken>> cell_tokens;
   cell_tokens.reserve(suite.cells.size());
-  for (std::size_t c = 0; c < suite.cells.size(); ++c)
+  for (std::size_t c = 0; c < suite.cells.size(); ++c) {
     cell_tokens.push_back(std::make_shared<core::CancelToken>());
+    if (config_.abort != nullptr) cell_tokens.back()->link_parent(config_.abort);
+  }
 
   std::vector<std::atomic<int>> episodes_left(suite.cells.size());
   for (auto& e : episodes_left) e.store(per_cell);

@@ -22,6 +22,7 @@ struct Aggregate {
   int collisions = 0;
   int timeouts = 0;
   int budget_exceeded = 0;             ///< cut short by a wall-clock budget
+  int deadline_hits = 0;               ///< frames degraded by a frame deadline
   math::RunningStats park_time;        ///< over successful episodes only
   math::RunningStats il_fraction;
   math::RunningStats min_clearance;
@@ -64,6 +65,11 @@ struct EvalConfig {
   /// Ceiling on the hardware-derived default width (num_threads == 0). An
   /// explicit num_threads request is honoured above the cap.
   int thread_cap = 16;
+  /// Pool-level abort (e.g. a SIGINT handler's token): every per-cell
+  /// cancellation token links to it, so tripping it drains the whole
+  /// fan-out promptly — remaining episodes come back as kBudgetExceeded and
+  /// the partial aggregates are still returned. Must outlive the run.
+  const core::CancelToken* abort = nullptr;
   SimConfig sim;
 };
 
@@ -87,7 +93,9 @@ class Evaluator {
                      const world::ScenarioOptions& options,
                      const std::string& method_label) const;
 
-  /// Per-episode results in seed order (for distribution plots).
+  /// Per-episode results in seed order (for distribution plots). A one-cell
+  /// suite through evaluate_suite_detailed — the ONE episode fan-out path —
+  /// so it shares its seeding, cancellation and episodes > 0 contract.
   std::vector<EpisodeResult> evaluate_detailed(
       const core::ControllerFactory& factory,
       const world::ScenarioOptions& options) const;

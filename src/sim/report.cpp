@@ -296,6 +296,13 @@ std::string get_string(const JsonValue& obj, const std::string& key,
                                                              : fallback;
 }
 
+bool get_bool(const JsonValue& obj, const std::string& key,
+              bool fallback = false) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->kind == JsonValue::Kind::kBool ? v->boolean
+                                                           : fallback;
+}
+
 std::uint64_t get_hex64(const JsonValue& obj, const std::string& key) {
   const std::string s = get_string(obj, key);
   if (s.empty()) return 0;
@@ -327,6 +334,7 @@ void write_cell(std::string& out, const CellRecord& cell) {
   c.field("collisions") += std::to_string(cell.collisions);
   c.field("timeouts") += std::to_string(cell.timeouts);
   c.field("budget_exceeded") += std::to_string(cell.budget_exceeded);
+  c.field("deadline_hits") += std::to_string(cell.deadline_hits);
   c.field("success_ratio") += fmt_double(cell.success_ratio);
   c.field("park_time_mean") += fmt_double(cell.park_time_mean);
   c.field("park_time_min") += fmt_double(cell.park_time_min);
@@ -343,6 +351,7 @@ void write_cell(std::string& out, const CellRecord& cell) {
       e.field("min_clearance") += fmt_double(ep.min_clearance);
       e.field("il_fraction") += fmt_double(ep.il_fraction);
       e.field("mode_switches") += std::to_string(ep.mode_switches);
+      e.field("deadline_hits") += std::to_string(ep.deadline_hits);
     }
   }
 }
@@ -357,6 +366,7 @@ CellRecord read_cell(const JsonValue& v) {
   cell.collisions = get_int(v, "collisions");
   cell.timeouts = get_int(v, "timeouts");
   cell.budget_exceeded = get_int(v, "budget_exceeded");
+  cell.deadline_hits = get_int(v, "deadline_hits");
   cell.success_ratio = get_number(v, "success_ratio");
   cell.park_time_mean = get_number(v, "park_time_mean");
   cell.park_time_min = get_number(v, "park_time_min");
@@ -373,6 +383,7 @@ CellRecord read_cell(const JsonValue& v) {
       ep.min_clearance = get_number(e, "min_clearance");
       ep.il_fraction = get_number(e, "il_fraction");
       ep.mode_switches = get_int(e, "mode_switches");
+      ep.deadline_hits = get_int(e, "deadline_hits");
       cell.episode_records.push_back(std::move(ep));
     }
   }
@@ -389,6 +400,7 @@ CellRecord cell_from_aggregate(const SuiteCell& cell, const Aggregate& agg) {
   rec.collisions = agg.collisions;
   rec.timeouts = agg.timeouts;
   rec.budget_exceeded = agg.budget_exceeded;
+  rec.deadline_hits = agg.deadline_hits;
   rec.success_ratio = agg.success_ratio();
   rec.park_time_mean = agg.park_time.mean();
   rec.park_time_min = agg.park_time.min();
@@ -433,6 +445,9 @@ std::uint64_t config_fingerprint(const EvalConfig& config) {
   h.add_double(config.sim.goal_pos_tol);
   h.add_double(config.sim.goal_heading_tol);
   h.add_double(config.sim.goal_speed_tol);
+  // A frame deadline changes which commands controllers emit, so two runs
+  // with different deadlines are not outcome-comparable.
+  h.add_double(config.sim.frame_deadline_ms);
   return h.value();
 }
 
@@ -462,6 +477,7 @@ void RunReport::add_cells_detailed(
       r.min_clearance = ep.min_clearance;
       r.il_fraction = ep.il_fraction;
       r.mode_switches = ep.mode_switches;
+      r.deadline_hits = ep.deadline_hits;
       rec.episode_records.push_back(std::move(r));
     }
     cells.push_back(std::move(rec));
@@ -484,10 +500,25 @@ std::string RunReport::to_json() const {
       append_string(m.field("base_seed"), std::to_string(meta.base_seed));
       append_string(m.field("config_fingerprint"),
                     fmt_hex64(meta.config_fingerprint));
+      m.field("aborted") += meta.aborted ? "true" : "false";
     }
     {
       JsonScope cs(doc.field("cells"), '[', ']');
       for (const CellRecord& cell : cells) write_cell(cs.element(), cell);
+    }
+    if (serve.has_value()) {
+      JsonScope s(doc.field("serve"), '{', '}');
+      append_string(s.field("method"), serve->method);
+      s.field("sessions") += std::to_string(serve->sessions);
+      s.field("threads") += std::to_string(serve->threads);
+      s.field("frames") += std::to_string(serve->frames);
+      s.field("wall_seconds") += fmt_double(serve->wall_seconds);
+      s.field("frames_per_second") += fmt_double(serve->frames_per_second);
+      s.field("frame_p50_ms") += fmt_double(serve->frame_p50_ms);
+      s.field("frame_p99_ms") += fmt_double(serve->frame_p99_ms);
+      s.field("frame_max_ms") += fmt_double(serve->frame_max_ms);
+      s.field("frame_deadline_ms") += fmt_double(serve->frame_deadline_ms);
+      s.field("deadline_hits") += std::to_string(serve->deadline_hits);
     }
   }
   out.push_back('\n');
@@ -535,6 +566,23 @@ bool RunReport::parse(const std::string& json, RunReport* out,
     report.meta.episodes_per_cell = get_int(*m, "episodes_per_cell");
     report.meta.base_seed = get_u64_string(*m, "base_seed");
     report.meta.config_fingerprint = get_hex64(*m, "config_fingerprint");
+    report.meta.aborted = get_bool(*m, "aborted");
+  }
+  if (const JsonValue* s = root.find("serve");
+      s != nullptr && s->kind == JsonValue::Kind::kObject) {
+    ServeStats stats;
+    stats.method = get_string(*s, "method");
+    stats.sessions = get_int(*s, "sessions");
+    stats.threads = get_int(*s, "threads");
+    stats.frames = get_u64_string(*s, "frames");
+    stats.wall_seconds = get_number(*s, "wall_seconds");
+    stats.frames_per_second = get_number(*s, "frames_per_second");
+    stats.frame_p50_ms = get_number(*s, "frame_p50_ms");
+    stats.frame_p99_ms = get_number(*s, "frame_p99_ms");
+    stats.frame_max_ms = get_number(*s, "frame_max_ms");
+    stats.frame_deadline_ms = get_number(*s, "frame_deadline_ms");
+    stats.deadline_hits = get_int(*s, "deadline_hits");
+    report.serve = stats;
   }
   if (const JsonValue* cs = root.find("cells");
       cs != nullptr && cs->kind == JsonValue::Kind::kArray) {
@@ -575,6 +623,7 @@ std::string aggregate_json_line(const std::string& bench,
   line.field("collisions") += std::to_string(agg.collisions);
   line.field("timeouts") += std::to_string(agg.timeouts);
   line.field("budget_exceeded") += std::to_string(agg.budget_exceeded);
+  line.field("deadline_hits") += std::to_string(agg.deadline_hits);
   line.field("success_ratio") += fmt_double(agg.success_ratio());
   line.field("park_time_mean") += fmt_double(agg.park_time.mean());
   line.field("park_time_min") += fmt_double(agg.park_time.min());

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,10 @@ struct RunReportMeta {
   int episodes_per_cell = 0;
   std::uint64_t base_seed = 0;
   std::uint64_t config_fingerprint = 0;  ///< sim::config_fingerprint
+  /// True when the run was cut short (e.g. a SIGINT tripping the abort
+  /// token): the document is a valid but PARTIAL record — cells evaluated
+  /// after the abort carry kBudgetExceeded episodes, not real outcomes.
+  bool aborted = false;
 };
 
 /// One recorded episode (optional detail; off by default to keep reports
@@ -46,6 +51,7 @@ struct EpisodeRecord {
   double min_clearance = 0.0;
   double il_fraction = 0.0;
   int mode_switches = 0;
+  int deadline_hits = 0;             ///< frames degraded by a frame deadline
 };
 
 /// One (cell, method) aggregate row of a run.
@@ -58,6 +64,7 @@ struct CellRecord {
   int collisions = 0;
   int timeouts = 0;
   int budget_exceeded = 0;
+  int deadline_hits = 0;             ///< total degraded frames in the cell
   double success_ratio = 0.0;
   double park_time_mean = 0.0;
   double park_time_min = 0.0;
@@ -68,13 +75,31 @@ struct CellRecord {
   std::vector<EpisodeRecord> episode_records;  ///< empty unless requested
 };
 
+/// Serving-workload metrics of one bench_serve run: N concurrent stepwise
+/// sessions interleaved on one pool, each step() timed as one served frame.
+struct ServeStats {
+  std::string method;                ///< controller registry key
+  int sessions = 0;                  ///< concurrent Session count
+  int threads = 0;                   ///< pool worker count
+  std::uint64_t frames = 0;          ///< total frames served
+  double wall_seconds = 0.0;
+  double frames_per_second = 0.0;
+  double frame_p50_ms = 0.0;         ///< median per-frame step latency
+  double frame_p99_ms = 0.0;
+  double frame_max_ms = 0.0;
+  double frame_deadline_ms = 0.0;    ///< configured budget (0 = none)
+  int deadline_hits = 0;             ///< frames degraded by that budget
+};
+
 /// A versioned, machine-readable record of one bench/suite run: run
-/// metadata plus per-(cell, method) aggregates and optional per-episode
-/// records. Writer AND loader live here so a committed reference report can
-/// gate CI (see compare_to_baseline).
+/// metadata plus per-(cell, method) aggregates, optional per-episode
+/// records, and (for serving runs) the ServeStats block. Writer AND loader
+/// live here so a committed reference report can gate CI (see
+/// compare_to_baseline).
 struct RunReport {
   RunReportMeta meta;
   std::vector<CellRecord> cells;
+  std::optional<ServeStats> serve;   ///< present for bench_serve runs
 
   /// Appends one aggregate row per suite cell for `results`; call once per
   /// method when a run covers several.

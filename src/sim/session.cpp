@@ -1,0 +1,80 @@
+#include "sim/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/frame_context.hpp"
+
+namespace icoil::sim {
+
+Session::Session(const world::Scenario& scenario, core::Controller& controller,
+                 std::uint64_t seed, SimConfig config,
+                 const core::CancelToken* cancel)
+    : config_(config), controller_(&controller), cancel_(cancel),
+      rng_(seed ^ 0x51D5EEDull), world_(scenario),
+      model_() /* default params (matches controllers) */,
+      max_frames_(
+          static_cast<std::size_t>(scenario.time_limit / config.dt)) {
+  state_.pose = scenario.start_pose;
+  state_.speed = 0.0;
+  controller_->reset(world_.scenario());
+}
+
+void Session::finish(Outcome outcome, double park_time) {
+  result_.outcome = outcome;
+  result_.park_time = park_time;
+  result_.il_fraction =
+      result_.frames > 0 ? static_cast<double>(il_frames_) /
+                               static_cast<double>(result_.frames)
+                         : 0.0;
+  done_ = true;
+}
+
+Session::Status Session::step() {
+  if (done_) return Status::kDone;
+
+  if (frame_ >= max_frames_) {
+    finish(Outcome::kTimeout, world_.scenario().time_limit);
+    return Status::kDone;
+  }
+
+  const double t = static_cast<double>(frame_) * config_.dt;
+
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    finish(Outcome::kBudgetExceeded, t);
+    return Status::kDone;
+  }
+
+  core::FrameContext frame_ctx(rng_, cancel_, config_.frame_deadline_ms);
+  const vehicle::Command cmd = controller_->act(world_, state_, frame_ctx);
+  const core::FrameInfo& info = controller_->last_frame();
+
+  if (config_.record_trace) result_.trace.push_back({t, state_, info});
+  if (frame_ > 0 && info.mode != prev_mode_) ++result_.mode_switches;
+  prev_mode_ = info.mode;
+  if (info.mode == core::Mode::kIl) ++il_frames_;
+  if (info.deadline_hit) ++result_.deadline_hits;
+
+  state_ = model_.step(state_, cmd, config_.dt);
+  world_.step(config_.dt);
+  ++result_.frames;
+  ++frame_;
+
+  const geom::Obb fp = model_.footprint(state_);
+  result_.min_clearance = std::min(result_.min_clearance, world_.clearance(fp));
+  if (world_.in_collision(fp)) {
+    finish(Outcome::kCollision, t + config_.dt);
+    return Status::kDone;
+  }
+
+  if (world_.at_goal(state_.pose, config_.goal_pos_tol,
+                     config_.goal_heading_tol) &&
+      std::abs(state_.speed) <= config_.goal_speed_tol) {
+    finish(Outcome::kSuccess, t + config_.dt);
+    return Status::kDone;
+  }
+
+  return Status::kRunning;
+}
+
+}  // namespace icoil::sim

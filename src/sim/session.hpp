@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/cancel_token.hpp"
+#include "core/controller.hpp"
+#include "sim/simulator.hpp"
+#include "world/world.hpp"
+
+namespace icoil::sim {
+
+/// Stepwise episode runner — the open/step/result decomposition of the
+/// closed `Simulator::run` loop. A Session owns the episode state (world,
+/// vehicle, RNG, partial result); the caller owns the cadence: call step()
+/// once per control frame until it returns kDone, then read result().
+/// `Simulator::run` is a thin loop over a Session (bit-for-bit identical
+/// results), and serving drivers interleave many Sessions on one
+/// core::TaskPool, timing each step() as one served frame.
+///
+/// Per-frame budgets: every step() hands the controller a FrameContext
+/// carrying SimConfig::frame_deadline_ms (and the episode CancelToken), so
+/// budget-aware controllers degrade per frame; frames that hit the deadline
+/// are counted in EpisodeResult::deadline_hits.
+class Session {
+ public:
+  enum class Status { kRunning, kDone };
+
+  /// Opens an episode: copies the scenario into a live world, seeds the
+  /// episode RNG and resets `controller` (which must outlive the Session,
+  /// and drives only this Session until it is done). When `cancel` is given
+  /// it is polled every frame and ends the episode with kBudgetExceeded.
+  Session(const world::Scenario& scenario, core::Controller& controller,
+          std::uint64_t seed, SimConfig config = {},
+          const core::CancelToken* cancel = nullptr);
+
+  /// Convenience spelling mirroring the open/step/result vocabulary.
+  static Session open(const world::Scenario& scenario,
+                      core::Controller& controller, std::uint64_t seed,
+                      SimConfig config = {},
+                      const core::CancelToken* cancel = nullptr) {
+    return Session(scenario, controller, seed, config, cancel);
+  }
+
+  /// Advance one control frame (sense -> act -> integrate -> check).
+  /// Returns kDone once the episode reached a terminal condition; further
+  /// calls are no-ops that keep returning kDone.
+  Status step();
+
+  bool done() const { return done_; }
+
+  /// The episode outcome; only meaningful once done() (until then it holds
+  /// the running partial tallies with a kTimeout placeholder outcome).
+  const EpisodeResult& result() const { return result_; }
+
+  /// Frames stepped so far / the simulated clock they add up to.
+  std::size_t frame() const { return frame_; }
+  double sim_time() const { return static_cast<double>(frame_) * config_.dt; }
+
+  const SimConfig& config() const { return config_; }
+  const vehicle::State& state() const { return state_; }
+  const world::World& world() const { return world_; }
+
+ private:
+  void finish(Outcome outcome, double park_time);
+
+  SimConfig config_;
+  core::Controller* controller_;
+  const core::CancelToken* cancel_;
+  math::Rng rng_;
+  world::World world_;
+  vehicle::BicycleModel model_;
+  vehicle::State state_;
+  std::size_t max_frames_;
+  std::size_t frame_ = 0;
+  std::size_t il_frames_ = 0;
+  core::Mode prev_mode_ = core::Mode::kCo;
+  bool done_ = false;
+  EpisodeResult result_;
+};
+
+}  // namespace icoil::sim

@@ -1,7 +1,6 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
-#include <cmath>
+#include "sim/session.hpp"
 
 namespace icoil::sim {
 
@@ -18,72 +17,10 @@ const char* to_string(Outcome o) {
 EpisodeResult Simulator::run(const world::Scenario& scenario,
                              core::Controller& controller, std::uint64_t seed,
                              const core::CancelToken* cancel) const {
-  EpisodeResult res;
-  math::Rng rng(seed ^ 0x51D5EEDull);
-
-  world::World world(scenario);
-  vehicle::BicycleModel model;  // default params (matches controllers)
-  vehicle::State state;
-  state.pose = scenario.start_pose;
-  state.speed = 0.0;
-
-  controller.reset(scenario);
-
-  core::Mode prev_mode = core::Mode::kCo;
-  std::size_t il_frames = 0;
-  const std::size_t max_frames =
-      static_cast<std::size_t>(scenario.time_limit / config_.dt);
-
-  for (std::size_t frame = 0; frame < max_frames; ++frame) {
-    const double t = static_cast<double>(frame) * config_.dt;
-
-    if (cancel != nullptr && cancel->cancelled()) {
-      res.outcome = Outcome::kBudgetExceeded;
-      res.park_time = t;
-      res.il_fraction = res.frames > 0 ? static_cast<double>(il_frames) /
-                                             static_cast<double>(res.frames)
-                                       : 0.0;
-      return res;
-    }
-
-    const vehicle::Command cmd = controller.act(world, state, rng);
-    const core::FrameInfo& info = controller.last_frame();
-
-    if (config_.record_trace) res.trace.push_back({t, state, info});
-    if (frame > 0 && info.mode != prev_mode) ++res.mode_switches;
-    prev_mode = info.mode;
-    if (info.mode == core::Mode::kIl) ++il_frames;
-
-    state = model.step(state, cmd, config_.dt);
-    world.step(config_.dt);
-    ++res.frames;
-
-    const geom::Obb fp = model.footprint(state);
-    res.min_clearance = std::min(res.min_clearance, world.clearance(fp));
-    if (world.in_collision(fp)) {
-      res.outcome = Outcome::kCollision;
-      res.park_time = t + config_.dt;
-      res.il_fraction =
-          static_cast<double>(il_frames) / static_cast<double>(res.frames);
-      return res;
-    }
-
-    if (world.at_goal(state.pose, config_.goal_pos_tol, config_.goal_heading_tol) &&
-        std::abs(state.speed) <= config_.goal_speed_tol) {
-      res.outcome = Outcome::kSuccess;
-      res.park_time = t + config_.dt;
-      res.il_fraction =
-          static_cast<double>(il_frames) / static_cast<double>(res.frames);
-      return res;
-    }
+  Session session(scenario, controller, seed, config_, cancel);
+  while (session.step() == Session::Status::kRunning) {
   }
-
-  res.outcome = Outcome::kTimeout;
-  res.park_time = scenario.time_limit;
-  res.il_fraction = res.frames > 0 ? static_cast<double>(il_frames) /
-                                         static_cast<double>(res.frames)
-                                   : 0.0;
-  return res;
+  return session.result();
 }
 
 }  // namespace icoil::sim

@@ -33,6 +33,9 @@ struct EpisodeResult {
   double min_clearance = geom::kMaxClearance;
   int mode_switches = 0;             ///< iCOIL CO<->IL transitions
   double il_fraction = 0.0;          ///< fraction of frames driven by IL
+  /// Frames whose FrameContext deadline tripped (the controller returned a
+  /// degraded best-so-far command). Always 0 without a frame_deadline_ms.
+  int deadline_hits = 0;
   std::vector<FrameRecord> trace;    ///< full trace (empty unless recording)
 
   bool success() const { return outcome == Outcome::kSuccess; }
@@ -46,12 +49,17 @@ struct SimConfig {
   double goal_pos_tol = 0.6;
   double goal_heading_tol = 0.35;
   double goal_speed_tol = 0.15;
+  /// Wall-clock budget per control frame [ms], handed to the controller via
+  /// core::FrameContext each step. <= 0 = unlimited. Budgets make results
+  /// timing-dependent; leave off when bit-identical reproducibility matters.
+  double frame_deadline_ms = 0.0;
 };
 
 /// Runs one controller through one scenario episode: sense -> act ->
-/// integrate -> check collision/goal/timeout. When `cancel` is given the
-/// loop polls it every frame and bails out with kBudgetExceeded once it
-/// trips (wall-clock budgets, ctrl-C style aborts).
+/// integrate -> check collision/goal/timeout. A thin whole-episode loop
+/// over sim::Session (which see for the stepwise API). When `cancel` is
+/// given the loop polls it every frame and bails out with kBudgetExceeded
+/// once it trips (wall-clock budgets, ctrl-C style aborts).
 class Simulator {
  public:
   explicit Simulator(SimConfig config = {}) : config_(config) {}

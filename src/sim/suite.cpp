@@ -13,6 +13,17 @@ world::ScenarioOptions SuiteCell::options() const {
   return opt;
 }
 
+SuiteCell SuiteCell::from_options(const world::ScenarioOptions& opt) {
+  SuiteCell cell;
+  cell.generator = opt.generator;
+  cell.params = opt.params;
+  cell.difficulty = opt.difficulty;
+  cell.start_class = opt.start_class;
+  cell.num_obstacles_override = opt.num_obstacles_override;
+  cell.time_limit = opt.time_limit;
+  return cell;
+}
+
 std::string SuiteCell::display_label() const {
   if (!label.empty()) return label;
   return generator + "/" + world::to_string(difficulty) + "/" +

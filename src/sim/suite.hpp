@@ -29,6 +29,10 @@ struct SuiteCell {
 
   /// The ScenarioOptions this cell expands to.
   world::ScenarioOptions options() const;
+  /// The inverse of options(): a cell whose options() reproduce `opt`
+  /// field-for-field (no label, no wall budget) — how single-family
+  /// evaluations route through the one suite fan-out path.
+  static SuiteCell from_options(const world::ScenarioOptions& opt);
   /// `label` when set, otherwise "generator/difficulty/start".
   std::string display_label() const;
 };

@@ -205,12 +205,13 @@ TEST(CoControllerTest, PlansAndDrivesTowardGoal) {
   EXPECT_EQ(controller.name(), "CO");
   const world::Scenario sc = easy_scenario();
   controller.reset(sc);
-  EXPECT_TRUE(controller.planner().has_reference());
   world::World world(sc);
   vehicle::State state;
   state.pose = sc.start_pose;
   math::Rng rng(1);
   const vehicle::Command cmd = controller.act(world, state, rng);
+  // The reference is planned lazily on the first (budgeted) frame.
+  EXPECT_TRUE(controller.planner().has_reference());
   EXPECT_GT(cmd.throttle, 0.0);  // starts moving
   EXPECT_EQ(controller.last_frame().mode, Mode::kCo);
 }

@@ -7,6 +7,7 @@
 #include <filesystem>
 
 #include "core/co_controller.hpp"
+#include "core/controller_registry.hpp"
 #include "core/icoil_controller.hpp"
 #include "core/il_controller.hpp"
 #include "il/trainer.hpp"
@@ -141,11 +142,7 @@ TEST(IntegrationTest, EvaluatorMatchesSimulatorSingleEpisode) {
   eval_cfg.episodes = 1;
   eval_cfg.base_seed = 500;
   const auto detailed = sim::Evaluator(eval_cfg).evaluate_detailed(
-      [] {
-        return std::make_unique<core::CoController>(co::CoPlannerConfig{},
-                                                    vehicle::VehicleParams{});
-      },
-      opt);
+      core::ControllerRegistry::instance().factory("co"), opt);
   ASSERT_EQ(detailed.size(), 1u);
 
   const world::Scenario sc = world::make_scenario(opt, 500);

@@ -136,8 +136,9 @@ class FixedController final : public core::Controller {
       : cmd_(cmd), act_sleep_ms_(act_sleep_ms) {}
   std::string name() const override { return "fixed"; }
   void reset(const world::Scenario&) override {}
+  using core::Controller::act;
   vehicle::Command act(const world::World&, const vehicle::State&,
-                       math::Rng&) override {
+                       core::FrameContext&) override {
     if (act_sleep_ms_ > 0.0)
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(act_sleep_ms_));

@@ -19,8 +19,9 @@ class FixedController final : public core::Controller {
   explicit FixedController(vehicle::Command cmd) : cmd_(cmd) {}
   std::string name() const override { return "fixed"; }
   void reset(const world::Scenario&) override {}
+  using core::Controller::act;
   vehicle::Command act(const world::World&, const vehicle::State&,
-                       math::Rng&) override {
+                       core::FrameContext&) override {
     frame_.command = cmd_;
     frame_.mode = core::Mode::kCo;
     return cmd_;
