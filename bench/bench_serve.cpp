@@ -11,6 +11,14 @@
 // is the per-frame arbitration shape the paper's controller runs at, lifted
 // to a multi-tenant serving loop.
 //
+// --batch-inference switches to the tick-synchronized loop instead: every
+// live session stages its frame (sensing, in parallel), one
+// il::BatchInferencer tick runs a single batched forward for all of them on
+// shared weights, then the staged frames commit (in parallel). Outcomes are
+// bit-identical to the unbatched loop — see sim::Session::stage — the trade
+// is throughput for per-frame latency, since a frame now spans its whole
+// tick. Batching counters land in ServeStats::batching.
+//
 // Ctrl-C is clean: SIGINT trips a shared core::CancelToken that every
 // session polls, episodes end as budget_exceeded, and the partial report is
 // written (meta.aborted) before exit 130.
@@ -26,6 +34,10 @@
 //     --seed S               base seed; session i uses seed+i (default 1000)
 //     --report PATH          write the RunReport JSON artifact
 //     --quick                smoke mode: 4 easy sessions, 6 s episodes
+//     --batch-inference      batch IL forwards across sessions per tick
+//                            (methods with a policy only; default method
+//                            becomes il when none is given)
+//     --max-batch N          cap one batched forward (default 32)
 //
 // Exit codes: 0 ok, 2 usage error, 3 I/O error, 130 aborted by SIGINT.
 
@@ -43,6 +55,8 @@
 #include "bench_util.hpp"
 #include "core/controller_registry.hpp"
 #include "core/task_pool.hpp"
+#include "il/batch_inferencer.hpp"
+#include "mathkit/gemm.hpp"
 #include "mathkit/stats.hpp"
 #include "mathkit/table.hpp"
 #include "sim/session.hpp"
@@ -61,6 +75,8 @@ struct ServeOptions {
   std::uint64_t base_seed = 1000;
   std::string report_path;
   bool quick = false;
+  bool batch_inference = false;
+  int max_batch = 32;
 };
 
 int usage(const char* argv0) {
@@ -68,7 +84,7 @@ int usage(const char* argv0) {
                "usage: %s [--sessions N] [--method KEY] "
                "[--frame-deadline-ms X] [--time-limit S] "
                "[--difficulty easy|normal|hard] [--threads N] [--seed S] "
-               "[--report PATH] [--quick]\n",
+               "[--report PATH] [--quick] [--batch-inference] [--max-batch N]\n",
                argv0);
   return 2;
 }
@@ -80,6 +96,14 @@ int run_serve(const ServeOptions& opts) {
     std::fprintf(stderr,
                  "bench_serve: unknown method \"%s\" — run `bench_suite "
                  "--list-methods` for the registered keys\n",
+                 opts.method.c_str());
+    return 2;
+  }
+
+  if (opts.batch_inference && !spec->needs_policy) {
+    std::fprintf(stderr,
+                 "bench_serve: --batch-inference requires a policy-backed "
+                 "method (il or icoil), not \"%s\"\n",
                  opts.method.c_str());
     return 2;
   }
@@ -142,17 +166,78 @@ int run_serve(const ServeOptions& opts) {
     });
   };
 
+  std::unique_ptr<il::BatchInferencer> service;
+  if (opts.batch_inference) {
+    service = std::make_unique<il::BatchInferencer>(
+        *policy, static_cast<std::size_t>(opts.max_batch));
+    for (const Served& s : served) {
+      if (!s.session->supports_batching()) {
+        std::fprintf(stderr,
+                     "bench_serve: method \"%s\" does not implement "
+                     "core::BatchClient\n",
+                     opts.method.c_str());
+        return 2;
+      }
+    }
+  }
+
   std::fprintf(stderr,
-               "[serve] %d session%s of %s on %d worker%s (deadline %s)\n",
+               "[serve] %d session%s of %s on %d worker%s (deadline %s%s)\n",
                opts.sessions, opts.sessions == 1 ? "" : "s",
                spec->display_name.c_str(), workers, workers == 1 ? "" : "s",
                opts.frame_deadline_ms > 0.0
                    ? (std::to_string(opts.frame_deadline_ms) + " ms").c_str()
-                   : "off");
+                   : "off",
+               opts.batch_inference
+                   ? (std::string(", batched inference via ") +
+                      math::gemm_kernel_name() + " gemm")
+                         .c_str()
+                   : "");
 
   const auto wall0 = std::chrono::steady_clock::now();
-  for (std::size_t i = 0; i < served.size(); ++i) pump(i);
-  pool.wait_idle();
+  if (!opts.batch_inference) {
+    for (std::size_t i = 0; i < served.size(); ++i) pump(i);
+    pool.wait_idle();
+  } else {
+    // Tick-synchronized loop: stage all live sessions (parallel), run one
+    // batched forward for the tick, commit the staged frames (parallel).
+    // SIGINT needs no special casing — stage() finalizes cancelled episodes
+    // exactly like step() would, and the loop drains.
+    std::vector<char> staged(served.size(), 0);
+    std::vector<std::chrono::steady_clock::time_point> stage_t0(served.size());
+    bool any_live = true;
+    while (any_live) {
+      for (std::size_t i = 0; i < served.size(); ++i) {
+        if (served[i].session->done()) continue;
+        pool.submit([&, i](const core::TaskPool::Context&) {
+          stage_t0[i] = std::chrono::steady_clock::now();
+          staged[i] = served[i].session->stage(*service) ? 1 : 0;
+        });
+      }
+      pool.wait_idle();
+
+      service->run_tick();
+
+      for (std::size_t i = 0; i < served.size(); ++i) {
+        if (staged[i] == 0) continue;
+        staged[i] = 0;
+        pool.submit([&, i](const core::TaskPool::Context&) {
+          served[i].session->commit(*service);
+          // A batched frame's latency spans stage-start to commit-end: the
+          // synchronization wall of its tick is part of what it costs.
+          served[i].latencies_ms.push_back(
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - stage_t0[i])
+                  .count());
+        });
+      }
+      pool.wait_idle();
+
+      any_live = false;
+      for (const Served& s : served)
+        if (!s.session->done()) any_live = true;
+    }
+  }
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
           .count();
@@ -181,6 +266,19 @@ int run_serve(const ServeOptions& opts) {
   stats.frame_max_ms = math::percentile(all_latencies, 100.0);
   stats.frame_deadline_ms = opts.frame_deadline_ms;
   stats.deadline_hits = deadline_hits;
+  if (service) {
+    const il::BatchStats& bs = service->stats();
+    sim::ServeStats::Batching batching;
+    batching.ticks = bs.ticks;
+    batching.requests = bs.requests;
+    batching.batches = bs.batches;
+    batching.max_batch = bs.max_batch;
+    batching.mean_batch = bs.mean_batch();
+    batching.gather_seconds = bs.gather_seconds;
+    batching.forward_seconds = bs.forward_seconds;
+    batching.scatter_seconds = bs.scatter_seconds;
+    stats.batching = batching;
+  }
 
   const bool aborted = bench::sigint_token().cancelled();
 
@@ -219,6 +317,15 @@ int run_serve(const ServeOptions& opts) {
   table.add_row({"frame p99 [ms]", math::format_double(stats.frame_p99_ms, 2)});
   table.add_row({"frame max [ms]", math::format_double(stats.frame_max_ms, 2)});
   table.add_row({"deadline hits", std::to_string(stats.deadline_hits)});
+  if (stats.batching.has_value()) {
+    const sim::ServeStats::Batching& b = *stats.batching;
+    table.add_row({"batch ticks", std::to_string(b.ticks)});
+    table.add_row({"mean batch", math::format_double(b.mean_batch, 2)});
+    table.add_row({"max batch", std::to_string(b.max_batch)});
+    table.add_row({"gather [ms]", math::format_double(b.gather_seconds * 1e3, 1)});
+    table.add_row({"forward [ms]", math::format_double(b.forward_seconds * 1e3, 1)});
+    table.add_row({"scatter [ms]", math::format_double(b.scatter_seconds * 1e3, 1)});
+  }
   table.add_row({"parked", std::to_string(agg.successes)});
   table.add_row({"collided", std::to_string(agg.collisions)});
   table.add_row({"timed out", std::to_string(agg.timeouts)});
@@ -246,6 +353,8 @@ int run_serve(const ServeOptions& opts) {
 
 int main(int argc, char** argv) {
   ServeOptions opts;
+  bool method_given = false;
+  bool sessions_given = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next_value = [&]() -> const char* {
@@ -256,10 +365,12 @@ int main(int argc, char** argv) {
       if (v == nullptr || !bench::parse_int_arg(v, &opts.sessions) ||
           opts.sessions < 1)
         return usage(argv[0]);
+      sessions_given = true;
     } else if (arg == "--method") {
       const char* v = next_value();
       if (v == nullptr) return usage(argv[0]);
       opts.method = v;
+      method_given = true;
     } else if (arg == "--frame-deadline-ms") {
       const char* v = next_value();
       if (v == nullptr || !bench::parse_double_arg(v, &opts.frame_deadline_ms) ||
@@ -296,6 +407,13 @@ int main(int argc, char** argv) {
       opts.report_path = v;
     } else if (arg == "--quick") {
       opts.quick = true;
+    } else if (arg == "--batch-inference") {
+      opts.batch_inference = true;
+    } else if (arg == "--max-batch") {
+      const char* v = next_value();
+      if (v == nullptr || !bench::parse_int_arg(v, &opts.max_batch) ||
+          opts.max_batch < 1)
+        return usage(argv[0]);
     } else {
       std::fprintf(stderr, "bench_serve: unknown argument \"%s\"\n",
                    arg.c_str());
@@ -306,11 +424,16 @@ int main(int argc, char** argv) {
   if (opts.quick) {
     // Smoke settings: tiny interleaved run that needs no trained policy and
     // finishes in seconds. Explicit flags given alongside --quick still win
-    // for method/deadline, but the episode shape is pinned.
-    opts.sessions = 4;
+    // for method/deadline/sessions, but the episode shape is pinned.
+    if (!sessions_given) opts.sessions = 4;
     opts.difficulty = world::Difficulty::kEasy;
     opts.time_limit = 6.0;
   }
+
+  // Batching only applies to policy-backed methods; when the user asked for
+  // it without picking one, serve the IL baseline instead of erroring on
+  // the (policy-less) co default.
+  if (opts.batch_inference && !method_given) opts.method = "il";
 
   bench::install_sigint_handler();
   return run_serve(opts);

@@ -6,6 +6,10 @@
 
 #include "co/hybrid_astar.hpp"
 #include "co/reeds_shepp.hpp"
+#include "il/batch_inferencer.hpp"
+#include "il/observation.hpp"
+#include "il/policy.hpp"
+#include "mathkit/gemm.hpp"
 #include "mathkit/ldlt.hpp"
 #include "mathkit/qp.hpp"
 #include "mathkit/rng.hpp"
@@ -90,6 +94,60 @@ void BM_BevRasterize(benchmark::State& state) {
 }
 BENCHMARK(BM_BevRasterize)->Arg(32)->Arg(48)->Arg(64)->Unit(benchmark::kMicrosecond);
 
+// Square double GEMM through the dispatched (blocked, possibly SIMD) kernel
+// vs the reference triple loop — the speedup here is what Matrix::operator*
+// and the batched conv/dense forwards inherit.
+void BM_GemmBlocked(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  math::Rng rng(11);
+  std::vector<double> a(static_cast<std::size_t>(n) * n);
+  std::vector<double> b(a.size()), c(a.size());
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  for (auto _ : state) {
+    math::gemm_f64(n, n, n, a.data(), n, b.data(), n, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * n * n * n, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_GemmBlocked)->Arg(32)->Arg(128)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+void BM_GemmNaive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  math::Rng rng(11);
+  std::vector<double> a(static_cast<std::size_t>(n) * n);
+  std::vector<double> b(a.size()), c(a.size());
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  for (auto _ : state) {
+    math::gemm_naive_f64(n, n, n, a.data(), n, b.data(), n, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * n * n * n, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_GemmNaive)->Arg(32)->Arg(128)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+void BM_GemmBlockedF32(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  math::Rng rng(11);
+  std::vector<float> a(static_cast<std::size_t>(n) * n);
+  std::vector<float> b(a.size()), c(a.size());
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    math::gemm_f32(n, n, n, a.data(), n, b.data(), n, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * n * n * n, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_GemmBlockedF32)->Arg(32)->Arg(128)->Arg(512)->Unit(benchmark::kMicrosecond);
+
 void BM_ConvForward(benchmark::State& state) {
   nn::Conv2D conv(4, 8, 3, 1);
   math::Rng rng(1);
@@ -102,6 +160,63 @@ void BM_ConvForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ConvForward)->Unit(benchmark::kMicrosecond);
+
+// The same conv through the allocation-free GEMM eval path.
+void BM_ConvForwardEval(benchmark::State& state) {
+  nn::Conv2D conv(4, 8, 3, 1);
+  math::Rng rng(1);
+  conv.init(rng);
+  nn::Tensor in({1, 4, 48, 48});
+  for (std::size_t i = 0; i < in.size(); ++i)
+    in[i] = static_cast<float>(rng.uniform());
+  nn::Tensor out;
+  for (auto _ : state) {
+    conv.forward_eval(in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ConvForwardEval)->Unit(benchmark::kMicrosecond);
+
+// Whole-policy batched forward via the BatchInferencer service: submit
+// `batch` copies of one observation, run one tick. Reported per-second rate
+// is ticks, so per-observation cost is time / batch.
+void BM_PolicyForward(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  il::IlPolicy policy{il::IlPolicyConfig(), 42u};
+  world::ScenarioOptions opt;
+  const world::World world{world::make_scenario(opt, 5)};
+  const sense::BevRasterizer raster(policy.bev_spec());
+  const sense::BevImage obs = il::make_observation(
+      raster.render(world, world.scenario().start_pose), 0.3);
+  il::BatchInferencer service(policy, 128);
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) service.submit(obs);
+    service.run_tick();
+    benchmark::DoNotOptimize(&service.result(0));
+  }
+  state.counters["obs_per_s"] = benchmark::Counter(
+      static_cast<double>(batch), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_PolicyForward)->Arg(1)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+// Baseline the batched service competes against: N sequential single-
+// observation infer() calls through the classic per-layer path.
+void BM_PolicyInferSequential(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  il::IlPolicy policy{il::IlPolicyConfig(), 42u};
+  world::ScenarioOptions opt;
+  const world::World world{world::make_scenario(opt, 5)};
+  const sense::BevRasterizer raster(policy.bev_spec());
+  const sense::BevImage obs = il::make_observation(
+      raster.render(world, world.scenario().start_pose), 0.3);
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i)
+      benchmark::DoNotOptimize(policy.infer(obs));
+  }
+  state.counters["obs_per_s"] = benchmark::Counter(
+      static_cast<double>(batch), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_PolicyInferSequential)->Arg(1)->Arg(32)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "core/frame_context.hpp"
+#include "il/batch_inferencer.hpp"
+#include "vehicle/kinematics.hpp"
+#include "world/world.hpp"
+
+namespace icoil::core {
+
+/// Capability interface for controllers whose per-frame IL inference can be
+/// batched across sessions. One control frame splits into stage() — sense,
+/// build the observation, submit it to the shared il::BatchInferencer — and
+/// commit() — everything after the inference, consuming the tick's batched
+/// result. Both halves receive the SAME FrameContext, and together they
+/// must consume episode RNG draws in exactly the order act() does, so a
+/// batched episode replays its unbatched twin bit for bit.
+class BatchClient {
+ public:
+  virtual ~BatchClient() = default;
+
+  /// Pre-inference half of a frame: render/corrupt the observation and
+  /// submit it. The controller remembers its submission slot internally.
+  virtual void stage(const world::World& world, const vehicle::State& state,
+                     FrameContext& frame, il::BatchInferencer& service) = 0;
+
+  /// Post-inference half: read this frame's result back from the service
+  /// (run_tick() must have happened since stage) and finish the frame.
+  virtual vehicle::Command commit(const world::World& world,
+                                  const vehicle::State& state,
+                                  FrameContext& frame,
+                                  const il::BatchInferencer& service) = 0;
+};
+
+}  // namespace icoil::core

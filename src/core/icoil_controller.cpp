@@ -31,6 +31,14 @@ void IcoilController::reset(const world::Scenario& scenario) {
                            std::move(static_boxes), scenario.map.bounds);
 }
 
+sense::BevImage IcoilController::sense(const world::World& world,
+                                       const vehicle::State& state,
+                                       FrameContext& frame) {
+  sense::BevImage bev = rasterizer_.render(world, state.pose);
+  if (noise_) noise_->apply(bev, frame.rng());
+  return bev;
+}
+
 vehicle::Command IcoilController::act(const world::World& world,
                                       const vehicle::State& state,
                                       FrameContext& frame) {
@@ -42,11 +50,33 @@ vehicle::Command IcoilController::act(const world::World& world,
   planner_.ensure_reference(&frame);
 
   // (a) IL inference — always runs; HSA needs the output distribution.
-  sense::BevImage bev = rasterizer_.render(world, state.pose);
-  if (noise_) noise_->apply(bev, frame.rng());
+  const sense::BevImage bev = sense(world, state, frame);
   const il::Inference inf =
       policy_->infer(il::make_observation(bev, state.speed));
 
+  return finish_frame(world, state, frame, inf, t0);
+}
+
+void IcoilController::stage(const world::World& world,
+                            const vehicle::State& state, FrameContext& frame,
+                            il::BatchInferencer& service) {
+  stage_t0_ = std::chrono::steady_clock::now();
+  planner_.ensure_reference(&frame);
+  const sense::BevImage bev = sense(world, state, frame);
+  slot_ = service.submit(il::make_observation(bev, state.speed));
+}
+
+vehicle::Command IcoilController::commit(const world::World& world,
+                                         const vehicle::State& state,
+                                         FrameContext& frame,
+                                         const il::BatchInferencer& service) {
+  return finish_frame(world, state, frame, service.result(slot_), stage_t0_);
+}
+
+vehicle::Command IcoilController::finish_frame(
+    const world::World& world, const vehicle::State& state,
+    FrameContext& frame, const il::Inference& inf,
+    std::chrono::steady_clock::time_point t0) {
   // (b) Obstacle distances for the complexity model (eq. 8).
   const auto detections =
       detector_->detect(world, state.pose.position, frame.rng());

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <chrono>
 #include <memory>
 
 #include "co/planner.hpp"
+#include "core/batch_client.hpp"
 #include "core/controller.hpp"
 #include "core/hsa.hpp"
 #include "core/safety.hpp"
@@ -27,7 +29,12 @@ struct IcoilConfig {
 /// its entropy, (b) measures obstacle distances for the complexity model,
 /// (c) lets HSA + the guard-time switcher choose the working mode (eq. 1),
 /// and (d) executes either the IL action or the CO-optimized action.
-class IcoilController final : public Controller {
+///
+/// Implements BatchClient: stage() covers the deferred reference plan plus
+/// sensing (the image-noise RNG draw), commit() covers detection (the
+/// detector RNG draws), HSA and mode execution — the same per-episode RNG
+/// order as act(), so batched and unbatched episodes are bit-identical.
+class IcoilController final : public Controller, public BatchClient {
  public:
   IcoilController(IcoilConfig config, const il::IlPolicy& trained_policy);
 
@@ -38,12 +45,25 @@ class IcoilController final : public Controller {
                        FrameContext& frame) override;
   const FrameInfo& last_frame() const override { return frame_; }
 
+  void stage(const world::World& world, const vehicle::State& state,
+             FrameContext& frame, il::BatchInferencer& service) override;
+  vehicle::Command commit(const world::World& world,
+                          const vehicle::State& state, FrameContext& frame,
+                          const il::BatchInferencer& service) override;
+
   const Hsa& hsa() const { return hsa_; }
   Mode mode() const { return switcher_.mode(); }
   co::CoPlanner& planner() { return planner_; }
   const SafetyMonitor& safety() const { return safety_; }
 
  private:
+  sense::BevImage sense(const world::World& world, const vehicle::State& state,
+                        FrameContext& frame);
+  vehicle::Command finish_frame(const world::World& world,
+                                const vehicle::State& state,
+                                FrameContext& frame, const il::Inference& inf,
+                                std::chrono::steady_clock::time_point t0);
+
   IcoilConfig config_;
   std::unique_ptr<il::IlPolicy> policy_;
   sense::BevRasterizer rasterizer_;
@@ -55,6 +75,8 @@ class IcoilController final : public Controller {
   SafetyMonitor safety_;
   vehicle::BicycleModel model_;
   FrameInfo frame_;
+  std::size_t slot_ = 0;  ///< batch slot between stage() and commit()
+  std::chrono::steady_clock::time_point stage_t0_;
 };
 
 }  // namespace icoil::core

@@ -15,14 +15,16 @@ void IlController::reset(const world::Scenario& scenario) {
   frame_.mode = Mode::kIl;
 }
 
-vehicle::Command IlController::act(const world::World& world,
-                                   const vehicle::State& state,
-                                   FrameContext& frame) {
-  const auto t0 = std::chrono::steady_clock::now();
+sense::BevImage IlController::sense(const world::World& world,
+                                    const vehicle::State& state,
+                                    FrameContext& frame) {
   sense::BevImage bev = rasterizer_.render(world, state.pose);
   if (noise_) noise_->apply(bev, frame.rng());
-  const il::Inference inf =
-      policy_->infer(il::make_observation(bev, state.speed));
+  return bev;
+}
+
+vehicle::Command IlController::finish_frame(
+    const il::Inference& inf, std::chrono::steady_clock::time_point t0) {
   frame_.mode = Mode::kIl;
   frame_.entropy = inf.entropy;
   frame_.uncertainty = inf.entropy;
@@ -37,6 +39,32 @@ vehicle::Command IlController::act(const world::World& world,
                                                 t0)
           .count();
   return inf.command;
+}
+
+vehicle::Command IlController::act(const world::World& world,
+                                   const vehicle::State& state,
+                                   FrameContext& frame) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const sense::BevImage bev = sense(world, state, frame);
+  const il::Inference inf =
+      policy_->infer(il::make_observation(bev, state.speed));
+  return finish_frame(inf, t0);
+}
+
+void IlController::stage(const world::World& world, const vehicle::State& state,
+                         FrameContext& frame, il::BatchInferencer& service) {
+  stage_t0_ = std::chrono::steady_clock::now();
+  const sense::BevImage bev = sense(world, state, frame);
+  slot_ = service.submit(il::make_observation(bev, state.speed));
+}
+
+vehicle::Command IlController::commit(const world::World&,
+                                      const vehicle::State&, FrameContext&,
+                                      const il::BatchInferencer& service) {
+  // solve_ms spans stage-start to commit-end: under batching that includes
+  // the shared forward's synchronization wall, which IS this frame's
+  // latency — the throughput-for-latency trade the serve report documents.
+  return finish_frame(service.result(slot_), stage_t0_);
 }
 
 }  // namespace icoil::core

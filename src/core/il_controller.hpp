@@ -1,7 +1,9 @@
 #pragma once
 
+#include <chrono>
 #include <memory>
 
+#include "core/batch_client.hpp"
 #include "core/controller.hpp"
 #include "il/policy.hpp"
 #include "sensing/bev.hpp"
@@ -12,8 +14,10 @@ namespace icoil::core {
 /// The conventional pure-IL baseline of the paper's comparison ([2] in the
 /// paper): a DNN maps the BEV image directly to a discretized action every
 /// frame. Owns a private clone of the trained policy (network forward
-/// passes cache activations and cannot be shared).
-class IlController final : public Controller {
+/// passes cache activations and cannot be shared). Implements BatchClient:
+/// the frame splits at the inference, with the single RNG draw site (image
+/// noise) in stage(), so batched and unbatched episodes are bit-identical.
+class IlController final : public Controller, public BatchClient {
  public:
   explicit IlController(const il::IlPolicy& trained_policy);
 
@@ -24,14 +28,27 @@ class IlController final : public Controller {
                        FrameContext& frame) override;
   const FrameInfo& last_frame() const override { return frame_; }
 
+  void stage(const world::World& world, const vehicle::State& state,
+             FrameContext& frame, il::BatchInferencer& service) override;
+  vehicle::Command commit(const world::World& world,
+                          const vehicle::State& state, FrameContext& frame,
+                          const il::BatchInferencer& service) override;
+
   /// Direct access to the policy inference for tests.
   il::IlPolicy& policy() { return *policy_; }
 
  private:
+  sense::BevImage sense(const world::World& world, const vehicle::State& state,
+                        FrameContext& frame);
+  vehicle::Command finish_frame(const il::Inference& inf,
+                                std::chrono::steady_clock::time_point t0);
+
   std::unique_ptr<il::IlPolicy> policy_;
   sense::BevRasterizer rasterizer_;
   std::unique_ptr<sense::ImageNoise> noise_;
   FrameInfo frame_;
+  std::size_t slot_ = 0;  ///< batch slot between stage() and commit()
+  std::chrono::steady_clock::time_point stage_t0_;
 };
 
 }  // namespace icoil::core

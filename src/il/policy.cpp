@@ -55,16 +55,25 @@ nn::Tensor IlPolicy::forward_batch(const nn::Tensor& batch, bool training) {
   return net_.forward(batch, training);
 }
 
-Inference IlPolicy::infer(const sense::BevImage& observation) {
-  const nn::Tensor logits =
-      net_.forward(to_input(observation), /*training=*/false);
+const nn::Tensor& IlPolicy::forward_eval(const nn::Tensor& batch,
+                                         nn::EvalWorkspace& ws) {
+  return net_.forward_eval(batch, ws);
+}
+
+Inference IlPolicy::inference_from_logits(const float* logits, int m) {
   Inference out;
-  out.probs = nn::softmax_row(logits.data(), logits.dim(1));
+  out.probs = nn::softmax_row(logits, m);
   out.action_class = static_cast<int>(
       std::max_element(out.probs.begin(), out.probs.end()) - out.probs.begin());
   out.command = ActionDiscretizer::to_command(out.action_class);
   out.entropy = nn::entropy(out.probs);
   return out;
+}
+
+Inference IlPolicy::infer(const sense::BevImage& observation) {
+  const nn::Tensor logits =
+      net_.forward(to_input(observation), /*training=*/false);
+  return inference_from_logits(logits.data(), logits.dim(1));
 }
 
 std::unique_ptr<IlPolicy> IlPolicy::clone() const {

@@ -53,6 +53,17 @@ class IlPolicy {
   /// Forward pass on a prepared batch tensor (N,C,H,W) -> logits (N,M).
   nn::Tensor forward_batch(const nn::Tensor& batch, bool training);
 
+  /// Inference-only batched forward through a caller-owned workspace: routes
+  /// every layer through its GEMM/no-allocation kernel and returns a
+  /// reference into `ws` (valid until the next call with that workspace).
+  /// Bit-identical to forward_batch(batch, false), row for row.
+  const nn::Tensor& forward_eval(const nn::Tensor& batch, nn::EvalWorkspace& ws);
+
+  /// The post-processing infer() applies to one row of M logits: softmax,
+  /// argmax class, executable command, entropy. Exposed so a batching layer
+  /// can scatter logits rows into the exact same Inference records.
+  static Inference inference_from_logits(const float* logits, int m);
+
   /// Convert an observation into the network's input tensor (batch of one).
   nn::Tensor to_input(const sense::BevImage& observation) const;
 

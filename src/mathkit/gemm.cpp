@@ -1,0 +1,102 @@
+// Portable build of the blocked GEMM kernel plus the one-time dispatch that
+// upgrades to the AVX2 build (gemm_avx2.cpp) when the CPU supports it. Both
+// builds are compiled with -ffp-contract=off and accumulate each output
+// element in ascending k order, so the choice never changes results — only
+// how fast they arrive.
+
+#include "mathkit/gemm.hpp"
+
+#define ICOIL_GEMM_KERNEL_NS gemm_portable
+#include "mathkit/gemm_kernel.inc"
+#undef ICOIL_GEMM_KERNEL_NS
+
+namespace icoil::math {
+
+namespace detail {
+
+using GemmF32Fn = void (*)(std::size_t, std::size_t, std::size_t, const float*,
+                           std::size_t, const float*, std::size_t, float*,
+                           std::size_t, bool);
+using GemmF64Fn = void (*)(std::size_t, std::size_t, std::size_t,
+                           const double*, std::size_t, const double*,
+                           std::size_t, double*, std::size_t, bool);
+
+// Implemented in gemm_avx2.cpp; nullptr when that TU was built without AVX2.
+GemmF32Fn avx2_gemm_f32();
+GemmF64Fn avx2_gemm_f64();
+
+bool cpu_has_avx2() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+bool use_avx2_kernel() {
+  static const bool use =
+      avx2_gemm_f32() != nullptr && avx2_gemm_f64() != nullptr &&
+      cpu_has_avx2();
+  return use;
+}
+
+}  // namespace detail
+
+void gemm_f32(std::size_t m, std::size_t n, std::size_t k, const float* a,
+              std::size_t lda, const float* b, std::size_t ldb, float* c,
+              std::size_t ldc, bool accumulate) {
+  static const detail::GemmF32Fn fn = detail::use_avx2_kernel()
+                                          ? detail::avx2_gemm_f32()
+                                          : &gemm_portable::gemm_blocked<float>;
+  fn(m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+}
+
+void gemm_f64(std::size_t m, std::size_t n, std::size_t k, const double* a,
+              std::size_t lda, const double* b, std::size_t ldb, double* c,
+              std::size_t ldc, bool accumulate) {
+  static const detail::GemmF64Fn fn =
+      detail::use_avx2_kernel() ? detail::avx2_gemm_f64()
+                                : &gemm_portable::gemm_blocked<double>;
+  fn(m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+}
+
+const char* gemm_kernel_name() {
+  return detail::use_avx2_kernel() ? "avx2" : "portable";
+}
+
+namespace {
+
+template <typename T>
+void gemm_naive_impl(std::size_t m, std::size_t n, std::size_t k, const T* a,
+                     std::size_t lda, const T* b, std::size_t ldb, T* c,
+                     std::size_t ldc, bool accumulate) {
+  for (std::size_t r = 0; r < m; ++r) {
+    T* crow = c + r * ldc;
+    if (!accumulate)
+      for (std::size_t j = 0; j < n; ++j) crow[j] = T(0);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const T av = a[r * lda + kk];
+      const T* brow = b + kk * ldb;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_naive_f32(std::size_t m, std::size_t n, std::size_t k,
+                    const float* a, std::size_t lda, const float* b,
+                    std::size_t ldb, float* c, std::size_t ldc,
+                    bool accumulate) {
+  gemm_naive_impl(m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+}
+
+void gemm_naive_f64(std::size_t m, std::size_t n, std::size_t k,
+                    const double* a, std::size_t lda, const double* b,
+                    std::size_t ldb, double* c, std::size_t ldc,
+                    bool accumulate) {
+  gemm_naive_impl(m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+}
+
+}  // namespace icoil::math

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+
+namespace icoil::math {
+
+/// Blocked, cache-friendly GEMM kernels: C (m x n) = A (m x k) * B (k x n),
+/// all row-major with explicit leading dimensions. When `accumulate` is true
+/// the product is added into the existing contents of C (the idiom for
+/// bias-initialized layer outputs); otherwise C is overwritten.
+///
+/// Numerics contract (what the IL batching layer relies on): for every
+/// output element the k-sum is accumulated in strictly ascending k order,
+/// each multiply and add rounded separately (the kernel translation units
+/// are built with -ffp-contract=off, so no code path fuses them into an
+/// FMA). That makes the result BIT-IDENTICAL to the naive r/k/c triple loop
+/// — and identical across the portable and SIMD builds of the kernel, which
+/// differ only in how many independent elements they process per
+/// instruction, never in per-element rounding.
+///
+/// The SIMD (AVX2) build of the kernel is selected once at first use when
+/// the CPU supports it; gemm_kernel_name() reports which build won.
+void gemm_f32(std::size_t m, std::size_t n, std::size_t k, const float* a,
+              std::size_t lda, const float* b, std::size_t ldb, float* c,
+              std::size_t ldc, bool accumulate = false);
+void gemm_f64(std::size_t m, std::size_t n, std::size_t k, const double* a,
+              std::size_t lda, const double* b, std::size_t ldb, double* c,
+              std::size_t ldc, bool accumulate = false);
+
+/// Reference implementation (the plain r/k/c loop the blocked kernel must
+/// match bit-for-bit) — kept for the equivalence tests and the
+/// naive-vs-blocked micro-benchmarks.
+void gemm_naive_f32(std::size_t m, std::size_t n, std::size_t k,
+                    const float* a, std::size_t lda, const float* b,
+                    std::size_t ldb, float* c, std::size_t ldc,
+                    bool accumulate = false);
+void gemm_naive_f64(std::size_t m, std::size_t n, std::size_t k,
+                    const double* a, std::size_t lda, const double* b,
+                    std::size_t ldb, double* c, std::size_t ldc,
+                    bool accumulate = false);
+
+/// "avx2" or "portable": the kernel build serving gemm_f32/gemm_f64 on this
+/// machine (for benchmark output and serve-report provenance).
+const char* gemm_kernel_name();
+
+}  // namespace icoil::math

@@ -1,0 +1,43 @@
+// AVX2 build of the blocked GEMM kernel. This translation unit is compiled
+// with -mavx2 -ffp-contract=off on x86 (see CMakeLists); everywhere else it
+// compiles to stubs and the dispatcher in gemm.cpp keeps the portable
+// kernel. The -ffp-contract=off is load-bearing: it forbids FMA fusion, so
+// this build rounds every multiply and add exactly like the portable one
+// and the two are bit-interchangeable (see gemm.hpp).
+
+#include <cstddef>
+
+namespace icoil::math::detail {
+
+using GemmF32Fn = void (*)(std::size_t, std::size_t, std::size_t, const float*,
+                           std::size_t, const float*, std::size_t, float*,
+                           std::size_t, bool);
+using GemmF64Fn = void (*)(std::size_t, std::size_t, std::size_t,
+                           const double*, std::size_t, const double*,
+                           std::size_t, double*, std::size_t, bool);
+
+}  // namespace icoil::math::detail
+
+#if defined(__AVX2__)
+
+#define ICOIL_GEMM_KERNEL_NS gemm_avx2
+#include "mathkit/gemm_kernel.inc"
+#undef ICOIL_GEMM_KERNEL_NS
+
+namespace icoil::math::detail {
+
+GemmF32Fn avx2_gemm_f32() { return &gemm_avx2::gemm_blocked<float>; }
+GemmF64Fn avx2_gemm_f64() { return &gemm_avx2::gemm_blocked<double>; }
+
+}  // namespace icoil::math::detail
+
+#else  // built without AVX2 support (non-x86, or the flag was not applied)
+
+namespace icoil::math::detail {
+
+GemmF32Fn avx2_gemm_f32() { return nullptr; }
+GemmF64Fn avx2_gemm_f64() { return nullptr; }
+
+}  // namespace icoil::math::detail
+
+#endif

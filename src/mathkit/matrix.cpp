@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "mathkit/gemm.hpp"
+
 namespace icoil::math {
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
@@ -36,34 +38,31 @@ Matrix Matrix::transpose() const {
 
 Matrix Matrix::operator+(const Matrix& o) const {
   assert(rows_ == o.rows_ && cols_ == o.cols_);
-  Matrix out = *this;
-  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += o.data_[i];
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = data_[i] + o.data_[i];
   return out;
 }
 
 Matrix Matrix::operator-(const Matrix& o) const {
   assert(rows_ == o.rows_ && cols_ == o.cols_);
-  Matrix out = *this;
-  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= o.data_[i];
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = data_[i] - o.data_[i];
   return out;
 }
 
 Matrix Matrix::operator*(const Matrix& o) const {
   assert(cols_ == o.rows_);
   Matrix out(rows_, o.cols_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double v = (*this)(r, k);
-      if (v == 0.0) continue;
-      for (std::size_t c = 0; c < o.cols_; ++c) out(r, c) += v * o(k, c);
-    }
-  }
+  gemm_f64(rows_, o.cols_, cols_, data_.data(), cols_, o.data_.data(), o.cols_,
+           out.data_.data(), o.cols_);
   return out;
 }
 
 Matrix Matrix::operator*(double s) const {
-  Matrix out = *this;
-  for (double& v : out.data_) v *= s;
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] * s;
   return out;
 }
 

@@ -30,6 +30,15 @@ class Layer {
   /// Given dL/d(output), accumulate parameter grads and return dL/d(input).
   virtual Tensor backward(const Tensor& grad_output) = 0;
 
+  /// Inference-only forward into a caller-owned tensor: no training caches,
+  /// and once shapes stabilize no allocation either (`output` is resized in
+  /// place). Results must be bit-identical to forward(input, false); layers
+  /// with a faster inference kernel override this, the default just
+  /// delegates. `output` must not alias `input`.
+  virtual void forward_eval(const Tensor& input, Tensor& output) {
+    output = forward(input, false);
+  }
+
   /// Learnable parameters (empty for stateless layers).
   virtual std::vector<Param*> params() { return {}; }
   /// Initialize parameters from `rng` (no-op for stateless layers).

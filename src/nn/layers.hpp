@@ -15,6 +15,7 @@ class Conv2D final : public Layer {
   std::string name() const override { return "conv2d"; }
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_eval(const Tensor& input, Tensor& output) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   void init(math::Rng& rng) override;
 
@@ -26,6 +27,7 @@ class Conv2D final : public Layer {
   Param weight_;  ///< (out_c, in_c, k, k)
   Param bias_;    ///< (out_c)
   Tensor cached_input_;
+  Tensor col_;  ///< im2col scratch for forward_eval, reused across frames
 };
 
 /// Elementwise max(0, x).
@@ -34,6 +36,7 @@ class ReLU final : public Layer {
   std::string name() const override { return "relu"; }
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_eval(const Tensor& input, Tensor& output) override;
 
  private:
   Tensor mask_;
@@ -45,6 +48,7 @@ class MaxPool2D final : public Layer {
   std::string name() const override { return "maxpool2d"; }
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_eval(const Tensor& input, Tensor& output) override;
 
  private:
   Tensor input_shape_cache_;
@@ -58,6 +62,7 @@ class Flatten final : public Layer {
   std::string name() const override { return "flatten"; }
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_eval(const Tensor& input, Tensor& output) override;
 
  private:
   std::vector<int> in_shape_;
@@ -71,6 +76,7 @@ class Dense final : public Layer {
   std::string name() const override { return "dense"; }
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_eval(const Tensor& input, Tensor& output) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   void init(math::Rng& rng) override;
 
@@ -82,6 +88,12 @@ class Dense final : public Layer {
   Param weight_;  ///< (out_f, in_f)
   Param bias_;    ///< (out_f)
   Tensor cached_input_;
+  // Transposed (in_f, out_f) copy of weight_ for forward_eval's GEMM: the
+  // kernel then vectorizes across output features while each feature's
+  // k-sum stays sequential — the bit-identity requirement. Rebuilt lazily
+  // whenever training may have touched the weights.
+  std::vector<float> packed_wt_;
+  bool packed_dirty_ = true;
 };
 
 /// Row-wise softmax over (N, M) logits. Backward assumes the incoming
@@ -91,6 +103,7 @@ class Softmax final : public Layer {
   std::string name() const override { return "softmax"; }
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_eval(const Tensor& input, Tensor& output) override;
 
  private:
   Tensor cached_output_;
@@ -98,5 +111,7 @@ class Softmax final : public Layer {
 
 /// Numerically stable standalone softmax over one row of logits.
 std::vector<float> softmax_row(const float* logits, int m);
+/// Same computation written into a caller-owned buffer of m floats.
+void softmax_row_into(const float* logits, int m, float* out);
 
 }  // namespace icoil::nn

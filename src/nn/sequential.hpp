@@ -7,6 +7,14 @@
 
 namespace icoil::nn {
 
+/// Reusable intermediate buffers for Sequential::forward_eval. Own one per
+/// call site (e.g. per batching service) and the inference path stops
+/// allocating once shapes stabilize.
+struct EvalWorkspace {
+  Tensor ping;
+  Tensor pong;
+};
+
 /// An ordered stack of layers — the network container used by the IL policy.
 class Sequential {
  public:
@@ -34,6 +42,22 @@ class Sequential {
     Tensor x = input;
     for (auto& l : layers_) x = l->forward(x, training);
     return x;
+  }
+
+  /// Inference-only forward through the caller's workspace: layers ping-pong
+  /// between the two buffers, so a steady-state caller allocates nothing per
+  /// call. Returns a reference into `ws` (or `input` for an empty network);
+  /// valid until the next forward_eval with the same workspace. Results are
+  /// bit-identical to forward(input, false).
+  const Tensor& forward_eval(const Tensor& input, EvalWorkspace& ws) {
+    const Tensor* cur = &input;
+    Tensor* bufs[2] = {&ws.ping, &ws.pong};
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      Tensor& dst = *bufs[i % 2];
+      layers_[i]->forward_eval(*cur, dst);
+      cur = &dst;
+    }
+    return *cur;
   }
 
   /// Backpropagate dL/d(output); parameter grads accumulate into params().

@@ -63,6 +63,16 @@ class Tensor {
     shape_ = std::move(shape);
   }
 
+  /// Reshape to `shape`, resizing storage as needed. Unlike constructing a
+  /// fresh Tensor this keeps the vector's capacity, so steady-state callers
+  /// (the per-frame inference path) stop allocating once shapes stabilize.
+  /// Elements grown beyond the old size are zero; existing elements keep
+  /// their values — callers must overwrite what they read.
+  void resize(std::vector<int> shape) {
+    data_.resize(static_cast<std::size_t>(count(shape)));
+    shape_ = std::move(shape);
+  }
+
   static long count(const std::vector<int>& shape) {
     long n = 1;
     for (int d : shape) n *= d;

@@ -519,6 +519,18 @@ std::string RunReport::to_json() const {
       s.field("frame_max_ms") += fmt_double(serve->frame_max_ms);
       s.field("frame_deadline_ms") += fmt_double(serve->frame_deadline_ms);
       s.field("deadline_hits") += std::to_string(serve->deadline_hits);
+      if (serve->batching.has_value()) {
+        const ServeStats::Batching& b = *serve->batching;
+        JsonScope bs(s.field("batching"), '{', '}');
+        bs.field("ticks") += std::to_string(b.ticks);
+        bs.field("requests") += std::to_string(b.requests);
+        bs.field("batches") += std::to_string(b.batches);
+        bs.field("max_batch") += std::to_string(b.max_batch);
+        bs.field("mean_batch") += fmt_double(b.mean_batch);
+        bs.field("gather_seconds") += fmt_double(b.gather_seconds);
+        bs.field("forward_seconds") += fmt_double(b.forward_seconds);
+        bs.field("scatter_seconds") += fmt_double(b.scatter_seconds);
+      }
     }
   }
   out.push_back('\n');
@@ -582,6 +594,19 @@ bool RunReport::parse(const std::string& json, RunReport* out,
     stats.frame_max_ms = get_number(*s, "frame_max_ms");
     stats.frame_deadline_ms = get_number(*s, "frame_deadline_ms");
     stats.deadline_hits = get_int(*s, "deadline_hits");
+    if (const JsonValue* b = s->find("batching");
+        b != nullptr && b->kind == JsonValue::Kind::kObject) {
+      ServeStats::Batching batching;
+      batching.ticks = get_u64_string(*b, "ticks");
+      batching.requests = get_u64_string(*b, "requests");
+      batching.batches = get_u64_string(*b, "batches");
+      batching.max_batch = get_u64_string(*b, "max_batch");
+      batching.mean_batch = get_number(*b, "mean_batch");
+      batching.gather_seconds = get_number(*b, "gather_seconds");
+      batching.forward_seconds = get_number(*b, "forward_seconds");
+      batching.scatter_seconds = get_number(*b, "scatter_seconds");
+      stats.batching = batching;
+    }
     report.serve = stats;
   }
   if (const JsonValue* cs = root.find("cells");

@@ -78,6 +78,20 @@ struct CellRecord {
 /// Serving-workload metrics of one bench_serve run: N concurrent stepwise
 /// sessions interleaved on one pool, each step() timed as one served frame.
 struct ServeStats {
+  /// Batched-inference service counters (il::BatchStats), recorded when the
+  /// run used --batch-inference: tick/batch shape plus where the service's
+  /// time went (the shared forwards vs the gather/scatter around them).
+  struct Batching {
+    std::uint64_t ticks = 0;        ///< service ticks that had work
+    std::uint64_t requests = 0;     ///< observations batched
+    std::uint64_t batches = 0;      ///< batched forward passes
+    std::uint64_t max_batch = 0;    ///< largest single forward batch
+    double mean_batch = 0.0;        ///< requests / batches
+    double gather_seconds = 0.0;    ///< observation packing overhead
+    double forward_seconds = 0.0;   ///< shared batched forwards
+    double scatter_seconds = 0.0;   ///< result unpacking overhead
+  };
+
   std::string method;                ///< controller registry key
   int sessions = 0;                  ///< concurrent Session count
   int threads = 0;                   ///< pool worker count
@@ -89,6 +103,7 @@ struct ServeStats {
   double frame_max_ms = 0.0;
   double frame_deadline_ms = 0.0;    ///< configured budget (0 = none)
   int deadline_hits = 0;             ///< frames degraded by that budget
+  std::optional<Batching> batching;  ///< present for --batch-inference runs
 };
 
 /// A versioned, machine-readable record of one bench/suite run: run

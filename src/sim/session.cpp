@@ -1,8 +1,10 @@
 #include "sim/session.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
+#include "core/batch_client.hpp"
 #include "core/frame_context.hpp"
 
 namespace icoil::sim {
@@ -10,8 +12,9 @@ namespace icoil::sim {
 Session::Session(const world::Scenario& scenario, core::Controller& controller,
                  std::uint64_t seed, SimConfig config,
                  const core::CancelToken* cancel)
-    : config_(config), controller_(&controller), cancel_(cancel),
-      rng_(seed ^ 0x51D5EEDull), world_(scenario),
+    : config_(config), controller_(&controller),
+      batch_client_(dynamic_cast<core::BatchClient*>(&controller)),
+      cancel_(cancel), rng_(seed ^ 0x51D5EEDull), world_(scenario),
       model_() /* default params (matches controllers) */,
       max_frames_(
           static_cast<std::size_t>(scenario.time_limit / config.dt)) {
@@ -30,23 +33,49 @@ void Session::finish(Outcome outcome, double park_time) {
   done_ = true;
 }
 
-Session::Status Session::step() {
-  if (done_) return Status::kDone;
+bool Session::begin_frame() {
+  if (done_) return false;
 
   if (frame_ >= max_frames_) {
     finish(Outcome::kTimeout, world_.scenario().time_limit);
-    return Status::kDone;
+    return false;
   }
-
-  const double t = static_cast<double>(frame_) * config_.dt;
 
   if (cancel_ != nullptr && cancel_->cancelled()) {
-    finish(Outcome::kBudgetExceeded, t);
-    return Status::kDone;
+    finish(Outcome::kBudgetExceeded, static_cast<double>(frame_) * config_.dt);
+    return false;
   }
 
+  return true;
+}
+
+Session::Status Session::step() {
+  if (!begin_frame()) return Status::kDone;
   core::FrameContext frame_ctx(rng_, cancel_, config_.frame_deadline_ms);
   const vehicle::Command cmd = controller_->act(world_, state_, frame_ctx);
+  return execute_frame(cmd);
+}
+
+bool Session::stage(il::BatchInferencer& service) {
+  assert(batch_client_ != nullptr &&
+         "Session::stage requires a BatchClient controller");
+  if (!begin_frame()) return false;
+  staged_ctx_.emplace(rng_, cancel_, config_.frame_deadline_ms);
+  batch_client_->stage(world_, state_, *staged_ctx_, service);
+  return true;
+}
+
+Session::Status Session::commit(il::BatchInferencer& service) {
+  if (!staged_ctx_.has_value())
+    return done_ ? Status::kDone : Status::kRunning;
+  const vehicle::Command cmd =
+      batch_client_->commit(world_, state_, *staged_ctx_, service);
+  staged_ctx_.reset();
+  return execute_frame(cmd);
+}
+
+Session::Status Session::execute_frame(const vehicle::Command& cmd) {
+  const double t = static_cast<double>(frame_) * config_.dt;
   const core::FrameInfo& info = controller_->last_frame();
 
   if (config_.record_trace) result_.trace.push_back({t, state_, info});

@@ -1,11 +1,20 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "core/cancel_token.hpp"
 #include "core/controller.hpp"
+#include "core/frame_context.hpp"
 #include "sim/simulator.hpp"
 #include "world/world.hpp"
+
+namespace icoil::core {
+class BatchClient;
+}
+namespace icoil::il {
+class BatchInferencer;
+}
 
 namespace icoil::sim {
 
@@ -46,6 +55,22 @@ class Session {
   /// calls are no-ops that keep returning kDone.
   Status step();
 
+  /// True when this Session's controller implements core::BatchClient and
+  /// can therefore be stepped through stage()/commit().
+  bool supports_batching() const { return batch_client_ != nullptr; }
+
+  /// Batched alternative to step(), split around the shared inference tick.
+  /// stage() runs the pre-inference half of the frame — frame/cancel
+  /// checks, sensing, observation submit to `service` — and returns true
+  /// when an observation was staged; false means the episode finished (or
+  /// already was) without needing inference. After service.run_tick(),
+  /// commit() completes the frame exactly like step() would have.
+  /// stage()+commit() replays step() bit for bit: the controller consumes
+  /// the episode RNG in the same order and the batched forward itself is
+  /// bit-identical to per-session inference (see il::BatchInferencer).
+  bool stage(il::BatchInferencer& service);
+  Status commit(il::BatchInferencer& service);
+
   bool done() const { return done_; }
 
   /// The episode outcome; only meaningful once done() (until then it holds
@@ -62,9 +87,14 @@ class Session {
 
  private:
   void finish(Outcome outcome, double park_time);
+  /// Pre-act frame admission: terminal/cancel checks. False = episode over.
+  bool begin_frame();
+  /// Post-act bookkeeping, integration and terminal checks.
+  Status execute_frame(const vehicle::Command& cmd);
 
   SimConfig config_;
   core::Controller* controller_;
+  core::BatchClient* batch_client_;  ///< controller's batching capability
   const core::CancelToken* cancel_;
   math::Rng rng_;
   world::World world_;
@@ -76,6 +106,9 @@ class Session {
   core::Mode prev_mode_ = core::Mode::kCo;
   bool done_ = false;
   EpisodeResult result_;
+  /// Lives from stage() to commit(): both halves of a batched frame share
+  /// one context, exactly like the single context a step() frame gets.
+  std::optional<core::FrameContext> staged_ctx_;
 };
 
 }  // namespace icoil::sim

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "mathkit/gemm.hpp"
 #include "mathkit/ldlt.hpp"
 #include "mathkit/matrix.hpp"
 #include "mathkit/qp.hpp"
@@ -336,6 +337,95 @@ TEST(RngTest, BernoulliExtremes) {
     EXPECT_FALSE(rng.bernoulli(0.0));
     EXPECT_TRUE(rng.bernoulli(1.0));
   }
+}
+
+// ------------------------------------------------------------------ gemm
+
+// The dispatched blocked kernel promises BIT-identical results to the
+// reference triple loop (see gemm.hpp): exercise full tiles, ragged edges
+// in both m and n, and the accumulate path, in both precisions, with exact
+// equality.
+template <typename T, typename GemmFn, typename NaiveFn>
+void check_gemm_matches_naive(GemmFn gemm, NaiveFn naive) {
+  Rng rng(2024);
+  const std::size_t sizes[] = {1, 2, 5, 6, 7, 13, 16, 31, 37, 64, 70};
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t m = sizes[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(std::size(sizes)) - 1))];
+    const std::size_t n = sizes[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(std::size(sizes)) - 1))];
+    const std::size_t k = sizes[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(std::size(sizes)) - 1))];
+    const bool accumulate = trial % 2 == 1;
+
+    std::vector<T> a(m * k), b(k * n);
+    std::vector<T> c_blocked(m * n), c_naive(m * n);
+    for (auto& v : a) v = static_cast<T>(rng.normal());
+    for (auto& v : b) v = static_cast<T>(rng.normal());
+    for (std::size_t i = 0; i < m * n; ++i)
+      c_blocked[i] = c_naive[i] = static_cast<T>(rng.normal());
+
+    gemm(m, n, k, a.data(), k, b.data(), n, c_blocked.data(), n, accumulate);
+    naive(m, n, k, a.data(), k, b.data(), n, c_naive.data(), n, accumulate);
+
+    for (std::size_t i = 0; i < m * n; ++i)
+      ASSERT_EQ(c_blocked[i], c_naive[i])
+          << "m=" << m << " n=" << n << " k=" << k
+          << " accumulate=" << accumulate << " elem " << i;
+  }
+}
+
+TEST(GemmTest, BlockedMatchesNaiveBitwiseF32) {
+  check_gemm_matches_naive<float>(&gemm_f32, &gemm_naive_f32);
+}
+
+TEST(GemmTest, BlockedMatchesNaiveBitwiseF64) {
+  check_gemm_matches_naive<double>(&gemm_f64, &gemm_naive_f64);
+}
+
+TEST(GemmTest, KernelNameIsKnown) {
+  const std::string name = gemm_kernel_name();
+  EXPECT_TRUE(name == "avx2" || name == "portable") << name;
+}
+
+TEST(MatrixTest, ElementwiseOpsMatchManualLoops) {
+  Rng rng(9);
+  Matrix a(5, 7), b(5, 7);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      a(i, j) = rng.normal();
+      b(i, j) = rng.normal();
+    }
+  const Matrix sum = a + b;
+  const Matrix diff = a - b;
+  const Matrix scaled = a * 2.5;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_EQ(sum(i, j), a(i, j) + b(i, j));
+      EXPECT_EQ(diff(i, j), a(i, j) - b(i, j));
+      EXPECT_EQ(scaled(i, j), a(i, j) * 2.5);
+    }
+}
+
+TEST(MatrixTest, MultiplyMatchesNaiveGemm) {
+  Rng rng(17);
+  Matrix a(11, 23), b(23, 6);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) a(i, j) = rng.normal();
+  for (std::size_t i = 0; i < b.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) b(i, j) = rng.normal();
+  const Matrix c = a * b;
+  std::vector<double> av(a.rows() * a.cols()), bv(b.rows() * b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) av[i * a.cols() + j] = a(i, j);
+  for (std::size_t i = 0; i < b.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) bv[i * b.cols() + j] = b(i, j);
+  std::vector<double> cv(a.rows() * b.cols());
+  gemm_naive_f64(a.rows(), b.cols(), a.cols(), av.data(), a.cols(), bv.data(),
+                 b.cols(), cv.data(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j)
+      EXPECT_EQ(c(i, j), cv[i * b.cols() + j]) << i << "," << j;
 }
 
 // ----------------------------------------------------------------- table

@@ -360,5 +360,105 @@ TEST(SerializeTest, LoadRejectsMissingFile) {
   EXPECT_FALSE(load_params(a, "/nonexistent/path/net.bin"));
 }
 
+// ---------------------------------------------------- forward_eval parity
+
+// The allocation-free eval path promises BIT-identical outputs to
+// forward(., training=false) for every layer — exact equality, no
+// tolerance.
+Tensor random_tensor(std::vector<int> shape, math::Rng& rng) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<float>(rng.normal());
+  return t;
+}
+
+void expect_eval_matches_forward(Layer& layer, const Tensor& in,
+                                 const char* what) {
+  const Tensor ref = layer.forward(in, false);
+  Tensor out;
+  layer.forward_eval(in, out);
+  ASSERT_EQ(out.shape(), ref.shape()) << what;
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    ASSERT_EQ(out[i], ref[i]) << what << " elem " << i;
+  // Second pass through the same layer reuses its scratch buffers — the
+  // reuse must not leak state between calls.
+  Tensor again;
+  layer.forward_eval(in, again);
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    ASSERT_EQ(again[i], ref[i]) << what << " repeat elem " << i;
+}
+
+TEST(EvalPathTest, EachLayerMatchesForward) {
+  math::Rng rng(31);
+  Tensor img = random_tensor({3, 4, 10, 10}, rng);
+
+  Conv2D conv(4, 6, 3, 1);
+  conv.init(rng);
+  expect_eval_matches_forward(conv, img, "conv");
+
+  ReLU relu;
+  expect_eval_matches_forward(relu, img, "relu");
+
+  MaxPool2D pool;
+  expect_eval_matches_forward(pool, img, "pool");
+
+  Flatten flatten;
+  expect_eval_matches_forward(flatten, img, "flatten");
+
+  Dense dense(12, 5);
+  dense.init(rng);
+  Tensor rows = random_tensor({3, 12}, rng);
+  expect_eval_matches_forward(dense, rows, "dense");
+
+  Softmax softmax;
+  expect_eval_matches_forward(softmax, rows, "softmax");
+}
+
+TEST(EvalPathTest, DenseRepacksAfterTrainingStep) {
+  math::Rng rng(5);
+  Dense dense(8, 4);
+  dense.init(rng);
+  Tensor in = random_tensor({2, 8}, rng);
+
+  Tensor out;
+  dense.forward_eval(in, out);  // packs the transposed weights
+
+  // Perturb the weights the way training would (forward+backward), then
+  // eval again: the pack must be refreshed, not stale.
+  Tensor up = dense.forward(in, true);
+  Tensor grad(up.shape());
+  for (std::size_t i = 0; i < grad.size(); ++i) grad[i] = 0.25f;
+  dense.backward(grad);
+  for (auto* p : dense.params())
+    for (std::size_t i = 0; i < p->value.size(); ++i)
+      p->value[i] -= 0.1f * p->grad[i];
+
+  const Tensor ref = dense.forward(in, false);
+  dense.forward_eval(in, out);
+  for (std::size_t i = 0; i < ref.size(); ++i) ASSERT_EQ(out[i], ref[i]);
+}
+
+TEST(EvalPathTest, SequentialMatchesForwardThroughWorkspace) {
+  math::Rng rng(77);
+  Sequential net;
+  net.add<Conv2D>(2, 4, 3, 1);
+  net.add<ReLU>();
+  net.add<MaxPool2D>();
+  net.add<Flatten>();
+  net.add<Dense>(4 * 6 * 6, 10);
+  net.add<Softmax>();
+  net.init(rng);
+
+  EvalWorkspace ws;
+  for (int pass = 0; pass < 3; ++pass) {
+    const Tensor in = random_tensor({2, 2, 12, 12}, rng);
+    const Tensor ref = net.forward(in, false);
+    const Tensor& out = net.forward_eval(in, ws);
+    ASSERT_EQ(out.shape(), ref.shape());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      ASSERT_EQ(out[i], ref[i]) << "pass " << pass << " elem " << i;
+  }
+}
+
 }  // namespace
 }  // namespace icoil::nn

@@ -328,11 +328,49 @@ TEST(ServeStatsTest, RoundTripsThroughJson) {
   EXPECT_DOUBLE_EQ(loaded.serve->frame_deadline_ms, 50.0);
   EXPECT_EQ(loaded.serve->deadline_hits, 17);
 
-  // Reports without a serve block load with none.
+  // Reports without a serve block load with none, and a serve block
+  // written without batching loads with no batching.
   sim::RunReport plain;
   ASSERT_TRUE(sim::RunReport::parse(sim::RunReport{}.to_json(), &plain, &error))
       << error;
   EXPECT_FALSE(plain.serve.has_value());
+  EXPECT_FALSE(loaded.serve->batching.has_value());
+}
+
+TEST(ServeStatsTest, BatchingBlockRoundTripsThroughJson) {
+  sim::RunReport report;
+  report.meta.suite = "serve";
+  sim::ServeStats stats;
+  stats.method = "il";
+  stats.sessions = 8;
+  stats.frames = 945;
+  sim::ServeStats::Batching batching;
+  batching.ticks = 120;
+  batching.requests = 945;
+  batching.batches = 121;
+  batching.max_batch = 8;
+  batching.mean_batch = 7.81;
+  batching.gather_seconds = 0.0035;
+  batching.forward_seconds = 0.2025;
+  batching.scatter_seconds = 0.0006;
+  stats.batching = batching;
+  report.serve = stats;
+
+  sim::RunReport loaded;
+  std::string error;
+  ASSERT_TRUE(sim::RunReport::parse(report.to_json(), &loaded, &error))
+      << error;
+  ASSERT_TRUE(loaded.serve.has_value());
+  ASSERT_TRUE(loaded.serve->batching.has_value());
+  const sim::ServeStats::Batching& b = *loaded.serve->batching;
+  EXPECT_EQ(b.ticks, 120u);
+  EXPECT_EQ(b.requests, 945u);
+  EXPECT_EQ(b.batches, 121u);
+  EXPECT_EQ(b.max_batch, 8u);
+  EXPECT_DOUBLE_EQ(b.mean_batch, 7.81);
+  EXPECT_DOUBLE_EQ(b.gather_seconds, 0.0035);
+  EXPECT_DOUBLE_EQ(b.forward_seconds, 0.2025);
+  EXPECT_DOUBLE_EQ(b.scatter_seconds, 0.0006);
 }
 
 TEST(EvaluatorTest, DetailedStillMatchesSeedOrderThroughSuitePath) {
