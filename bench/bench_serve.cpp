@@ -1,39 +1,41 @@
-// Serving-scale driver for the stepwise Session API: opens N concurrent
-// parking sessions and interleaves their control frames on ONE
-// core::TaskPool — every step() is one served frame, timed individually.
-// Reports throughput (frames/sec) and tail latency (p50/p99/max per-frame
-// milliseconds) plus the episode outcome aggregate, all through a loadable
-// sim::RunReport (meta.suite = "serve", report.serve = ServeStats).
+// Thin driver over the serve:: front-end subsystem. All serving-loop logic
+// — session lifecycle, tick scheduling, admission control, load shedding,
+// deadline autotuning, latency accounting — lives in serve::Frontend (and
+// core::LatencyHistogram); this file only parses flags, runs one Frontend
+// per load level, prints tables and assembles the RunReport.
 //
-// Sessions self-reschedule: a session's task steps one frame and, while the
-// episode is live, resubmits itself to the pool queue, so frames of all
-// sessions interleave FIFO instead of each session hogging a worker. This
-// is the per-frame arbitration shape the paper's controller runs at, lifted
-// to a multi-tenant serving loop.
-//
-// --batch-inference switches to the tick-synchronized loop instead: every
-// live session stages its frame (sensing, in parallel), one
-// il::BatchInferencer tick runs a single batched forward for all of them on
-// shared weights, then the staged frames commit (in parallel). Outcomes are
-// bit-identical to the unbatched loop — see sim::Session::stage — the trade
-// is throughput for per-frame latency, since a frame now spans its whole
-// tick. Batching counters land in ServeStats::batching.
+// --sessions takes either one count (single run) or a comma list
+// ("--sessions 1,10,100") which sweeps offered load level by level and
+// reports frames/sec and tail latency vs. load, flagging the saturation
+// knee (the last level whose throughput still grew meaningfully).
 //
 // Ctrl-C is clean: SIGINT trips a shared core::CancelToken that every
-// session polls, episodes end as budget_exceeded, and the partial report is
-// written (meta.aborted) before exit 130.
+// session polls, episodes end as budget_exceeded, and the partial report —
+// containing the load levels completed so far — is written (meta.aborted)
+// before exit 130.
 //
 // Usage:
 //   bench_serve [options]
-//     --sessions N           concurrent sessions (default 8)
+//     --sessions N[,N...]    offered load level(s) (default 8)
 //     --method KEY           controller registry key (default co)
-//     --frame-deadline-ms X  per-frame controller budget (default: none)
+//     --frame-deadline-ms X  static per-frame budget (default: none)
+//     --capacity N           max active sessions (default 0 = unlimited)
+//     --queue-limit N        arrivals that may wait for a slot before
+//                            shedding starts (default -1 = unbounded)
+//     --warmup-frames N      leading frames per session excluded from the
+//                            latency percentiles (default 1)
+//     --autotune-deadline    tune each session's frame deadline from its
+//                            rolling p99 frame latency
+//     --deadline-min-ms X    tuner clamp floor (default 5)
+//     --deadline-max-ms X    tuner clamp ceiling (default 200)
+//     --deadline-headroom X  tuner target = X * rolling p99 (default 1.5)
 //     --time-limit S         per-episode simulated time limit (default 60)
 //     --difficulty LEVEL     easy|normal|hard (default normal)
 //     --threads N            pool workers (0 = hardware, capped at 16)
 //     --seed S               base seed; session i uses seed+i (default 1000)
 //     --report PATH          write the RunReport JSON artifact
-//     --quick                smoke mode: 4 easy sessions, 6 s episodes
+//     --quick                smoke mode: easy 6 s episodes (4 sessions
+//                            unless --sessions is given)
 //     --batch-inference      batch IL forwards across sessions per tick
 //                            (methods with a policy only; default method
 //                            becomes il when none is given)
@@ -42,281 +44,94 @@
 // Exit codes: 0 ok, 2 usage error, 3 I/O error, 130 aborted by SIGINT.
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <functional>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/controller_registry.hpp"
-#include "core/task_pool.hpp"
-#include "il/batch_inferencer.hpp"
 #include "mathkit/gemm.hpp"
-#include "mathkit/stats.hpp"
 #include "mathkit/table.hpp"
-#include "sim/session.hpp"
+#include "serve/frontend.hpp"
 
 namespace {
 
 using namespace icoil;
 
 struct ServeOptions {
-  int sessions = 8;
-  std::string method = "co";
-  double frame_deadline_ms = 0.0;
-  double time_limit = 60.0;
-  world::Difficulty difficulty = world::Difficulty::kNormal;
-  int threads = 0;
-  std::uint64_t base_seed = 1000;
+  std::vector<int> session_levels = {8};
+  serve::FrontendConfig frontend;  ///< shared knobs; sessions set per level
   std::string report_path;
   bool quick = false;
-  bool batch_inference = false;
-  int max_batch = 32;
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--sessions N] [--method KEY] "
-               "[--frame-deadline-ms X] [--time-limit S] "
+               "usage: %s [--sessions N[,N...]] [--method KEY] "
+               "[--frame-deadline-ms X] [--capacity N] [--queue-limit N] "
+               "[--warmup-frames N] [--autotune-deadline] "
+               "[--deadline-min-ms X] [--deadline-max-ms X] "
+               "[--deadline-headroom X] [--time-limit S] "
                "[--difficulty easy|normal|hard] [--threads N] [--seed S] "
                "[--report PATH] [--quick] [--batch-inference] [--max-batch N]\n",
                argv0);
   return 2;
 }
 
-int run_serve(const ServeOptions& opts) {
-  const auto& registry = core::ControllerRegistry::instance();
-  const core::ControllerSpec* spec = registry.find(opts.method);
-  if (spec == nullptr) {
-    std::fprintf(stderr,
-                 "bench_serve: unknown method \"%s\" — run `bench_suite "
-                 "--list-methods` for the registered keys\n",
-                 opts.method.c_str());
-    return 2;
-  }
-
-  if (opts.batch_inference && !spec->needs_policy) {
-    std::fprintf(stderr,
-                 "bench_serve: --batch-inference requires a policy-backed "
-                 "method (il or icoil), not \"%s\"\n",
-                 opts.method.c_str());
-    return 2;
-  }
-
-  // Policy (when needed) and every controller are built on the main thread
-  // before serving starts; workers only ever call step().
-  std::unique_ptr<il::IlPolicy> policy;
-  core::ControllerBuildArgs args;
-  if (spec->needs_policy) {
-    policy = bench::shared_policy();
-    args.policy = policy.get();
-  }
-
-  sim::SimConfig sim_config;
-  sim_config.frame_deadline_ms = opts.frame_deadline_ms;
-
-  // One scenario per session (distinct seeds -> distinct start poses).
-  struct Served {
-    std::unique_ptr<core::Controller> controller;
-    std::unique_ptr<sim::Session> session;
-    std::vector<double> latencies_ms;  // per-session: no cross-thread sharing
-  };
-  std::vector<Served> served(static_cast<std::size_t>(opts.sessions));
-  for (int i = 0; i < opts.sessions; ++i) {
-    const std::uint64_t seed =
-        opts.base_seed + static_cast<std::uint64_t>(i);
-    world::ScenarioOptions scenario_opts;
-    scenario_opts.difficulty = opts.difficulty;
-    scenario_opts.time_limit = opts.time_limit;
-    const world::Scenario scenario = world::make_scenario(scenario_opts, seed);
-    Served& s = served[static_cast<std::size_t>(i)];
-    s.controller = registry.build(opts.method, args);
-    s.session = std::make_unique<sim::Session>(scenario, *s.controller, seed,
-                                               sim_config, &bench::sigint_token());
-    s.latencies_ms.reserve(
-        static_cast<std::size_t>(opts.time_limit / sim_config.dt) + 1);
-  }
-
-  const int workers = core::TaskPool::recommended_workers(
-      opts.threads, opts.sessions, /*cap=*/16);
-  core::TaskPool pool(workers);
-
-  // Self-rescheduling frame tasks: one step per task, FIFO through the
-  // shared queue, so no session monopolizes a worker.
-  std::function<void(std::size_t)> pump = [&](std::size_t i) {
-    pool.submit([&, i](const core::TaskPool::Context&) {
-      Served& s = served[i];
-      const std::size_t before = s.session->frame();
-      const auto t0 = std::chrono::steady_clock::now();
-      const sim::Session::Status status = s.session->step();
-      // Only steps that ran a control frame count as served: the terminal
-      // timeout/cancel finalize does no work and would deflate the latency
-      // percentiles it is supposed to measure.
-      if (s.session->frame() > before)
-        s.latencies_ms.push_back(
-            std::chrono::duration<double, std::milli>(
-                std::chrono::steady_clock::now() - t0)
-                .count());
-      if (status == sim::Session::Status::kRunning) pump(i);
-    });
-  };
-
-  std::unique_ptr<il::BatchInferencer> service;
-  if (opts.batch_inference) {
-    service = std::make_unique<il::BatchInferencer>(
-        *policy, static_cast<std::size_t>(opts.max_batch));
-    for (const Served& s : served) {
-      if (!s.session->supports_batching()) {
-        std::fprintf(stderr,
-                     "bench_serve: method \"%s\" does not implement "
-                     "core::BatchClient\n",
-                     opts.method.c_str());
-        return 2;
-      }
+/// "1,10,100" -> {1, 10, 100}, sorted ascending and deduplicated (the knee
+/// heuristic reads the rows as an offered-load-ascending curve).
+bool parse_session_levels(const char* text, std::vector<int>* out) {
+  out->clear();
+  std::string token;
+  for (const char* p = text;; ++p) {
+    if (*p != ',' && *p != '\0') {
+      token.push_back(*p);
+      continue;
     }
+    int value = 0;
+    if (token.empty() || !bench::parse_int_arg(token.c_str(), &value) ||
+        value < 1)
+      return false;
+    out->push_back(value);
+    token.clear();
+    if (*p == '\0') break;
   }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  return !out->empty();
+}
 
-  std::fprintf(stderr,
-               "[serve] %d session%s of %s on %d worker%s (deadline %s%s)\n",
-               opts.sessions, opts.sessions == 1 ? "" : "s",
-               spec->display_name.c_str(), workers, workers == 1 ? "" : "s",
-               opts.frame_deadline_ms > 0.0
-                   ? (std::to_string(opts.frame_deadline_ms) + " ms").c_str()
-                   : "off",
-               opts.batch_inference
-                   ? (std::string(", batched inference via ") +
-                      math::gemm_kernel_name() + " gemm")
-                         .c_str()
-                   : "");
-
-  const auto wall0 = std::chrono::steady_clock::now();
-  if (!opts.batch_inference) {
-    for (std::size_t i = 0; i < served.size(); ++i) pump(i);
-    pool.wait_idle();
-  } else {
-    // Tick-synchronized loop: stage all live sessions (parallel), run one
-    // batched forward for the tick, commit the staged frames (parallel).
-    // SIGINT needs no special casing — stage() finalizes cancelled episodes
-    // exactly like step() would, and the loop drains.
-    std::vector<char> staged(served.size(), 0);
-    std::vector<std::chrono::steady_clock::time_point> stage_t0(served.size());
-    bool any_live = true;
-    while (any_live) {
-      for (std::size_t i = 0; i < served.size(); ++i) {
-        if (served[i].session->done()) continue;
-        pool.submit([&, i](const core::TaskPool::Context&) {
-          stage_t0[i] = std::chrono::steady_clock::now();
-          staged[i] = served[i].session->stage(*service) ? 1 : 0;
-        });
-      }
-      pool.wait_idle();
-
-      service->run_tick();
-
-      for (std::size_t i = 0; i < served.size(); ++i) {
-        if (staged[i] == 0) continue;
-        staged[i] = 0;
-        pool.submit([&, i](const core::TaskPool::Context&) {
-          served[i].session->commit(*service);
-          // A batched frame's latency spans stage-start to commit-end: the
-          // synchronization wall of its tick is part of what it costs.
-          served[i].latencies_ms.push_back(
-              std::chrono::duration<double, std::milli>(
-                  std::chrono::steady_clock::now() - stage_t0[i])
-                  .count());
-        });
-      }
-      pool.wait_idle();
-
-      any_live = false;
-      for (const Served& s : served)
-        if (!s.session->done()) any_live = true;
-    }
-  }
-  const double wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
-          .count();
-
-  // ---- fold the per-session measurements -------------------------------
-  std::vector<double> all_latencies;
-  std::vector<sim::EpisodeResult> results;
-  int deadline_hits = 0;
-  for (const Served& s : served) {
-    all_latencies.insert(all_latencies.end(), s.latencies_ms.begin(),
-                         s.latencies_ms.end());
-    results.push_back(s.session->result());
-    deadline_hits += s.session->result().deadline_hits;
-  }
-  sim::ServeStats stats;
-  stats.method = opts.method;
-  stats.sessions = opts.sessions;
-  stats.threads = workers;
-  stats.frames = all_latencies.size();
-  stats.wall_seconds = wall_seconds;
-  stats.frames_per_second =
-      wall_seconds > 0.0 ? static_cast<double>(stats.frames) / wall_seconds
-                         : 0.0;
-  stats.frame_p50_ms = math::percentile(all_latencies, 50.0);
-  stats.frame_p99_ms = math::percentile(all_latencies, 99.0);
-  stats.frame_max_ms = math::percentile(all_latencies, 100.0);
-  stats.frame_deadline_ms = opts.frame_deadline_ms;
-  stats.deadline_hits = deadline_hits;
-  if (service) {
-    const il::BatchStats& bs = service->stats();
-    sim::ServeStats::Batching batching;
-    batching.ticks = bs.ticks;
-    batching.requests = bs.requests;
-    batching.batches = bs.batches;
-    batching.max_batch = bs.max_batch;
-    batching.mean_batch = bs.mean_batch();
-    batching.gather_seconds = bs.gather_seconds;
-    batching.forward_seconds = bs.forward_seconds;
-    batching.scatter_seconds = bs.scatter_seconds;
-    stats.batching = batching;
-  }
-
-  const bool aborted = bench::sigint_token().cancelled();
-
-  sim::EvalConfig eval_config;  // provenance fingerprint only
-  eval_config.episodes = opts.sessions;
-  eval_config.base_seed = opts.base_seed;
-  eval_config.sim = sim_config;
-
-  sim::RunReport report;
-  report.meta.suite = "serve";
-  report.meta.git_describe = sim::build_git_describe();
-  report.meta.threads = workers;
-  report.meta.episodes_per_cell = opts.sessions;
-  report.meta.base_seed = opts.base_seed;
-  report.meta.config_fingerprint = sim::config_fingerprint(eval_config);
-  report.meta.aborted = aborted;
-  report.serve = stats;
-
-  sim::SuiteCell cell;
-  cell.difficulty = opts.difficulty;
-  cell.time_limit = opts.time_limit;
-  cell.label = "serve";
-  // The ONE fold: the report cell and the printed summary share it.
-  const sim::Aggregate agg =
-      sim::aggregate_episodes(results, spec->display_name, cell.label);
-  report.add_cells({{cell, agg}});
-
-  // ---- human-readable summary ------------------------------------------
+void print_single_run(const serve::FrontendResult& r) {
+  const sim::ServeStats& stats = r.stats;
   math::TextTable table({"metric", "value"});
-  table.add_row({"sessions", std::to_string(opts.sessions)});
-  table.add_row({"workers", std::to_string(workers)});
+  table.add_row({"sessions offered", std::to_string(stats.offered)});
+  table.add_row({"admitted", std::to_string(stats.admitted)});
+  table.add_row({"queued", std::to_string(stats.queued)});
+  table.add_row({"shed", std::to_string(stats.shed)});
+  table.add_row({"workers", std::to_string(stats.threads)});
   table.add_row({"frames served", std::to_string(stats.frames)});
-  table.add_row({"wall time [s]", math::format_double(wall_seconds, 2)});
+  table.add_row({"warmup frames", std::to_string(stats.warmup.count)});
+  table.add_row({"wall time [s]", math::format_double(stats.wall_seconds, 2)});
   table.add_row({"frames/sec", math::format_double(stats.frames_per_second, 1)});
-  table.add_row({"frame p50 [ms]", math::format_double(stats.frame_p50_ms, 2)});
-  table.add_row({"frame p99 [ms]", math::format_double(stats.frame_p99_ms, 2)});
-  table.add_row({"frame max [ms]", math::format_double(stats.frame_max_ms, 2)});
+  table.add_row({"frame p50 [ms]", math::format_double(stats.frame.p50_ms, 2)});
+  table.add_row({"frame p99 [ms]", math::format_double(stats.frame.p99_ms, 2)});
+  table.add_row({"frame max [ms]", math::format_double(stats.frame.max_ms, 2)});
+  table.add_row({"queue p99 [ms]", math::format_double(stats.queue.p99_ms, 2)});
   table.add_row({"deadline hits", std::to_string(stats.deadline_hits)});
+  if (stats.tuning.has_value()) {
+    const sim::ServeStats::Tuning& t = *stats.tuning;
+    table.add_row({"tuned deadline min [ms]",
+                   math::format_double(t.deadline_min_ms, 2)});
+    table.add_row({"tuned deadline mean [ms]",
+                   math::format_double(t.deadline_mean_ms, 2)});
+    table.add_row({"tuned deadline max [ms]",
+                   math::format_double(t.deadline_max_ms, 2)});
+  }
   if (stats.batching.has_value()) {
     const sim::ServeStats::Batching& b = *stats.batching;
     table.add_row({"batch ticks", std::to_string(b.ticks)});
@@ -326,20 +141,172 @@ int run_serve(const ServeOptions& opts) {
     table.add_row({"forward [ms]", math::format_double(b.forward_seconds * 1e3, 1)});
     table.add_row({"scatter [ms]", math::format_double(b.scatter_seconds * 1e3, 1)});
   }
-  table.add_row({"parked", std::to_string(agg.successes)});
-  table.add_row({"collided", std::to_string(agg.collisions)});
-  table.add_row({"timed out", std::to_string(agg.timeouts)});
-  table.add_row({"over budget", std::to_string(agg.budget_exceeded)});
-  std::printf("\nServing run — %s, %d concurrent session%s%s\n\n",
-              spec->display_name.c_str(), opts.sessions,
-              opts.sessions == 1 ? "" : "s",
-              aborted ? " — ABORTED, partial results" : "");
+  table.add_row({"parked", std::to_string(r.aggregate.successes)});
+  table.add_row({"collided", std::to_string(r.aggregate.collisions)});
+  table.add_row({"timed out", std::to_string(r.aggregate.timeouts)});
+  table.add_row({"over budget", std::to_string(r.aggregate.budget_exceeded)});
   table.print(std::cout);
+}
 
+void print_sweep(const std::vector<sim::ServeLoadLevel>& levels,
+                 int knee_offered) {
+  math::TextTable table({"offered", "admitted", "shed", "frames", "frames/sec",
+                         "p50 [ms]", "p99 [ms]", "queue p99 [ms]",
+                         "deadline hits", "knee"});
+  for (const sim::ServeLoadLevel& level : levels)
+    table.add_row({std::to_string(level.offered),
+                   std::to_string(level.admitted), std::to_string(level.shed),
+                   std::to_string(level.frames),
+                   math::format_double(level.frames_per_second, 1),
+                   math::format_double(level.frame_p50_ms, 2),
+                   math::format_double(level.frame_p99_ms, 2),
+                   math::format_double(level.queue_p99_ms, 2),
+                   std::to_string(level.deadline_hits),
+                   level.knee ? "<-- knee" : ""});
+  table.print(std::cout);
+  if (knee_offered > 0)
+    std::printf("\nsaturation knee at offered load %d: adding sessions "
+                "beyond it no longer buys throughput, only latency\n",
+                knee_offered);
+  else if (!levels.empty())
+    std::printf("\nno saturation knee observed: throughput still scaled at "
+                "offered load %d\n", levels.back().offered);
+}
+
+int run_serve(const ServeOptions& opts) {
+  const core::ControllerSpec* spec =
+      core::ControllerRegistry::instance().find(opts.frontend.method);
+  if (spec == nullptr) {
+    std::fprintf(stderr,
+                 "bench_serve: unknown method \"%s\" — run `bench_suite "
+                 "--list-methods` for the registered keys\n",
+                 opts.frontend.method.c_str());
+    return 2;
+  }
+
+  // Policy (when needed) is acquired once and shared across all levels.
+  std::unique_ptr<il::IlPolicy> policy;
+  serve::FrontendConfig base = opts.frontend;
+  if (spec->needs_policy) {
+    policy = bench::shared_policy();
+    base.policy = policy.get();
+  }
+
+  // Validate once with the first level plugged in — the remaining checks
+  // (batching, knob ranges) do not depend on the session count.
+  serve::FrontendConfig probe = base;
+  probe.sessions = opts.session_levels.front();
+  std::string error;
+  if (!serve::Frontend::validate(probe, &error)) {
+    std::fprintf(stderr, "bench_serve: %s\n", error.c_str());
+    return 2;
+  }
+
+  const bool sweep = opts.session_levels.size() > 1;
+  std::vector<sim::ServeLoadLevel> levels;
+  std::vector<sim::SuiteCellResult> cells;
+  sim::ServeStats last_stats;
+  int last_workers = 0;
+  bool aborted = false;
+
+  for (const int sessions : opts.session_levels) {
+    serve::FrontendConfig level_config = base;
+    level_config.sessions = sessions;
+    if (sweep) level_config.label = "serve@" + std::to_string(sessions);
+
+    std::fprintf(
+        stderr, "[serve] %d session%s of %s%s%s\n", sessions,
+        sessions == 1 ? "" : "s", spec->display_name.c_str(),
+        level_config.tuner.enabled ? ", autotuned deadline" : "",
+        level_config.batch_inference
+            ? (std::string(", batched inference via ") +
+               math::gemm_kernel_name() + " gemm")
+                  .c_str()
+            : "");
+
+    serve::Frontend frontend(level_config, &bench::sigint_token());
+    serve::FrontendResult result;
+    try {
+      result = frontend.run();
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "bench_serve: %s\n", e.what());
+      return 2;
+    }
+
+    if (result.aborted) {
+      // Partial level: keep only the levels completed so far in the report.
+      aborted = true;
+      std::fprintf(stderr,
+                   "[serve] aborted at offered load %d — report keeps the "
+                   "%zu completed level%s\n",
+                   sessions, levels.size(), levels.size() == 1 ? "" : "s");
+      break;
+    }
+
+    levels.push_back(serve::to_load_level(result.stats));
+    last_stats = result.stats;
+    last_workers = result.workers;
+    sim::SuiteCell cell;
+    cell.difficulty = level_config.difficulty;
+    cell.time_limit = level_config.time_limit;
+    cell.label = level_config.label;
+    cells.push_back({cell, result.aggregate});
+    std::fprintf(stderr, "[serve]   %llu frames, %.1f frames/sec, p99 %.2f ms\n",
+                 static_cast<unsigned long long>(result.stats.frames),
+                 result.stats.frames_per_second, result.stats.frame.p99_ms);
+  }
+
+  int knee_offered = 0;
+  if (sweep && levels.size() > 1) {
+    const int knee = serve::find_knee(levels);
+    if (knee >= 0) {
+      levels[static_cast<std::size_t>(knee)].knee = true;
+      knee_offered = levels[static_cast<std::size_t>(knee)].offered;
+    }
+  }
+
+  // ---- human-readable summary ------------------------------------------
+  std::printf("\nServing run — %s%s\n\n", spec->display_name.c_str(),
+              aborted ? " — ABORTED, partial results" : "");
+  if (sweep) {
+    print_sweep(levels, knee_offered);
+  } else if (!levels.empty()) {
+    sim::ServeStats stats = last_stats;
+    serve::FrontendResult printable;  // re-fold for the table helper
+    printable.stats = stats;
+    printable.aggregate = cells.back().aggregate;
+    print_single_run(printable);
+  }
+
+  // ---- RunReport artifact ----------------------------------------------
   if (!opts.report_path.empty()) {
-    std::string error;
-    if (!report.save(opts.report_path, &error)) {
-      std::fprintf(stderr, "bench_serve: %s\n", error.c_str());
+    sim::EvalConfig eval_config;  // provenance fingerprint only
+    eval_config.episodes =
+        levels.empty() ? opts.session_levels.front() : levels.back().offered;
+    eval_config.base_seed = opts.frontend.base_seed;
+    eval_config.sim.frame_deadline_ms = opts.frontend.frame_deadline_ms;
+
+    sim::RunReport report;
+    report.meta.suite = "serve";
+    report.meta.git_describe = sim::build_git_describe();
+    report.meta.threads = last_workers;
+    report.meta.episodes_per_cell = eval_config.episodes;
+    report.meta.base_seed = opts.frontend.base_seed;
+    report.meta.config_fingerprint = sim::config_fingerprint(eval_config);
+    report.meta.aborted = aborted;
+    if (!levels.empty()) {
+      sim::ServeStats stats = last_stats;
+      if (sweep) {
+        stats.levels = levels;
+        stats.knee_offered = knee_offered;
+      }
+      report.serve = stats;
+    }
+    report.add_cells(cells);
+
+    std::string save_error;
+    if (!report.save(opts.report_path, &save_error)) {
+      std::fprintf(stderr, "bench_serve: %s\n", save_error.c_str());
       return 3;
     }
     std::fprintf(stderr, "[serve] %sreport written to %s\n",
@@ -362,44 +329,83 @@ int main(int argc, char** argv) {
     };
     if (arg == "--sessions") {
       const char* v = next_value();
-      if (v == nullptr || !bench::parse_int_arg(v, &opts.sessions) ||
-          opts.sessions < 1)
+      if (v == nullptr || !parse_session_levels(v, &opts.session_levels))
         return usage(argv[0]);
       sessions_given = true;
     } else if (arg == "--method") {
       const char* v = next_value();
       if (v == nullptr) return usage(argv[0]);
-      opts.method = v;
+      opts.frontend.method = v;
       method_given = true;
     } else if (arg == "--frame-deadline-ms") {
       const char* v = next_value();
-      if (v == nullptr || !bench::parse_double_arg(v, &opts.frame_deadline_ms) ||
-          opts.frame_deadline_ms <= 0.0)
+      if (v == nullptr ||
+          !bench::parse_double_arg(v, &opts.frontend.frame_deadline_ms) ||
+          opts.frontend.frame_deadline_ms <= 0.0)
+        return usage(argv[0]);
+    } else if (arg == "--capacity") {
+      const char* v = next_value();
+      if (v == nullptr ||
+          !bench::parse_int_arg(v, &opts.frontend.admission.max_active) ||
+          opts.frontend.admission.max_active < 0)
+        return usage(argv[0]);
+    } else if (arg == "--queue-limit") {
+      const char* v = next_value();
+      if (v == nullptr ||
+          !bench::parse_int_arg(v, &opts.frontend.admission.queue_limit))
+        return usage(argv[0]);
+    } else if (arg == "--warmup-frames") {
+      const char* v = next_value();
+      if (v == nullptr ||
+          !bench::parse_int_arg(v, &opts.frontend.warmup_frames) ||
+          opts.frontend.warmup_frames < 0)
+        return usage(argv[0]);
+    } else if (arg == "--autotune-deadline") {
+      opts.frontend.tuner.enabled = true;
+    } else if (arg == "--deadline-min-ms") {
+      const char* v = next_value();
+      if (v == nullptr ||
+          !bench::parse_double_arg(v, &opts.frontend.tuner.min_ms) ||
+          opts.frontend.tuner.min_ms <= 0.0)
+        return usage(argv[0]);
+    } else if (arg == "--deadline-max-ms") {
+      const char* v = next_value();
+      if (v == nullptr ||
+          !bench::parse_double_arg(v, &opts.frontend.tuner.max_ms) ||
+          opts.frontend.tuner.max_ms <= 0.0)
+        return usage(argv[0]);
+    } else if (arg == "--deadline-headroom") {
+      const char* v = next_value();
+      if (v == nullptr ||
+          !bench::parse_double_arg(v, &opts.frontend.tuner.headroom) ||
+          opts.frontend.tuner.headroom <= 0.0)
         return usage(argv[0]);
     } else if (arg == "--time-limit") {
       const char* v = next_value();
-      if (v == nullptr || !bench::parse_double_arg(v, &opts.time_limit) ||
-          opts.time_limit <= 0.0)
+      if (v == nullptr ||
+          !bench::parse_double_arg(v, &opts.frontend.time_limit) ||
+          opts.frontend.time_limit <= 0.0)
         return usage(argv[0]);
     } else if (arg == "--difficulty") {
       const char* v = next_value();
       if (v == nullptr) return usage(argv[0]);
-      if (std::strcmp(v, "easy") == 0) opts.difficulty = world::Difficulty::kEasy;
+      if (std::strcmp(v, "easy") == 0)
+        opts.frontend.difficulty = world::Difficulty::kEasy;
       else if (std::strcmp(v, "normal") == 0)
-        opts.difficulty = world::Difficulty::kNormal;
+        opts.frontend.difficulty = world::Difficulty::kNormal;
       else if (std::strcmp(v, "hard") == 0)
-        opts.difficulty = world::Difficulty::kHard;
+        opts.frontend.difficulty = world::Difficulty::kHard;
       else return usage(argv[0]);
     } else if (arg == "--threads") {
       const char* v = next_value();
-      if (v == nullptr || !bench::parse_int_arg(v, &opts.threads) ||
-          opts.threads < 0)
+      if (v == nullptr || !bench::parse_int_arg(v, &opts.frontend.threads) ||
+          opts.frontend.threads < 0)
         return usage(argv[0]);
     } else if (arg == "--seed") {
       const char* v = next_value();
       char* end = nullptr;
       if (v == nullptr) return usage(argv[0]);
-      opts.base_seed = std::strtoull(v, &end, 10);
+      opts.frontend.base_seed = std::strtoull(v, &end, 10);
       if (end == v || *end != '\0') return usage(argv[0]);
     } else if (arg == "--report") {
       const char* v = next_value();
@@ -408,11 +414,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--quick") {
       opts.quick = true;
     } else if (arg == "--batch-inference") {
-      opts.batch_inference = true;
+      opts.frontend.batch_inference = true;
     } else if (arg == "--max-batch") {
       const char* v = next_value();
-      if (v == nullptr || !bench::parse_int_arg(v, &opts.max_batch) ||
-          opts.max_batch < 1)
+      if (v == nullptr || !bench::parse_int_arg(v, &opts.frontend.max_batch) ||
+          opts.frontend.max_batch < 1)
         return usage(argv[0]);
     } else {
       std::fprintf(stderr, "bench_serve: unknown argument \"%s\"\n",
@@ -425,15 +431,16 @@ int main(int argc, char** argv) {
     // Smoke settings: tiny interleaved run that needs no trained policy and
     // finishes in seconds. Explicit flags given alongside --quick still win
     // for method/deadline/sessions, but the episode shape is pinned.
-    if (!sessions_given) opts.sessions = 4;
-    opts.difficulty = world::Difficulty::kEasy;
-    opts.time_limit = 6.0;
+    if (!sessions_given) opts.session_levels = {4};
+    opts.frontend.difficulty = world::Difficulty::kEasy;
+    opts.frontend.time_limit = 6.0;
   }
 
   // Batching only applies to policy-backed methods; when the user asked for
   // it without picking one, serve the IL baseline instead of erroring on
   // the (policy-less) co default.
-  if (opts.batch_inference && !method_given) opts.method = "il";
+  if (opts.frontend.batch_inference && !method_given)
+    opts.frontend.method = "il";
 
   bench::install_sigint_handler();
   return run_serve(opts);

@@ -1,0 +1,41 @@
+#include "core/latency_histogram.hpp"
+
+#include <algorithm>
+
+#include "mathkit/stats.hpp"
+
+namespace icoil::core {
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.samples_.empty()) return;
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sum_ += other.sum_;
+  sorted_ = false;
+}
+
+void LatencyHistogram::sort() const {
+  if (sorted_) return;
+  std::sort(samples_.begin(), samples_.end());
+  sorted_ = true;
+}
+
+double LatencyHistogram::percentile(double p) const {
+  sort();
+  return math::percentile_sorted(samples_, p);
+}
+
+LatencySummary LatencyHistogram::summary() const {
+  LatencySummary s;
+  s.count = samples_.size();
+  if (samples_.empty()) return s;
+  sort();
+  s.mean_ms = mean();
+  s.p50_ms = math::percentile_sorted(samples_, 50.0);
+  s.p90_ms = math::percentile_sorted(samples_, 90.0);
+  s.p99_ms = math::percentile_sorted(samples_, 99.0);
+  s.max_ms = samples_.back();
+  return s;
+}
+
+}  // namespace icoil::core

@@ -31,6 +31,11 @@ class RunningStats {
 /// Percentile via linear interpolation on a copy of the data; p in [0, 100].
 double percentile(std::vector<double> values, double p);
 
+/// Same interpolation over values that are ALREADY sorted ascending — the
+/// one percentile kernel (core::LatencyHistogram keeps its samples sorted
+/// and calls this to avoid re-copying per query).
+double percentile_sorted(const std::vector<double>& sorted, double p);
+
 double mean(const std::vector<double>& values);
 
 }  // namespace icoil::math

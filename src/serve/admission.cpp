@@ -1,0 +1,32 @@
+#include "serve/admission.hpp"
+
+namespace icoil::serve {
+
+AdmissionController::Decision AdmissionController::offer(int session) {
+  ++offered_;
+  if (config_.max_active <= 0 || active_ < config_.max_active) {
+    ++active_;
+    ++admitted_;
+    return Decision::kAdmit;
+  }
+  if (config_.queue_limit < 0 ||
+      static_cast<int>(queue_.size()) < config_.queue_limit) {
+    queue_.push_back(session);
+    return Decision::kQueue;
+  }
+  shed_sessions_.push_back(session);
+  return Decision::kShed;
+}
+
+int AdmissionController::on_complete() {
+  --active_;
+  if (queue_.empty()) return -1;
+  const int session = queue_.front();
+  queue_.pop_front();
+  ++active_;
+  ++admitted_;
+  ++queued_;
+  return session;
+}
+
+}  // namespace icoil::serve

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <deque>
+#include <vector>
+
+namespace icoil::serve {
+
+/// Capacity policy of the serving front end: how many sessions may be
+/// active at once and how many arrivals may wait for a slot before the
+/// front end starts shedding load.
+struct AdmissionConfig {
+  /// Maximum concurrently active sessions; 0 = unlimited (every arrival is
+  /// admitted immediately and nothing queues or sheds — the legacy
+  /// admit-everything behavior).
+  int max_active = 0;
+  /// Bound on arrivals waiting for a slot once max_active is reached.
+  /// < 0 = unbounded queue (arrivals wait forever, nothing is shed).
+  /// Ignored when max_active == 0: without a capacity there is no queue.
+  int queue_limit = -1;
+};
+
+/// Bounded-arrival-queue admission with load shedding — the front door of
+/// serve::Frontend. Arrivals are offered in order; each is admitted (a slot
+/// is free), queued (capacity full, queue has room) or shed (queue full
+/// too). Completions pop the queue FIFO.
+///
+/// Decisions are a pure function of the offer/complete sequence — no clock,
+/// no randomness — so the shed set is deterministic for a given arrival
+/// order and capacity policy (tested). NOT thread-safe: the caller
+/// serializes offer()/on_complete() (serve::Frontend holds one mutex
+/// around them; wall-clock queue-time accounting lives there too, since
+/// admission decisions must not depend on timing).
+class AdmissionController {
+ public:
+  enum class Decision { kAdmit, kQueue, kShed };
+
+  explicit AdmissionController(AdmissionConfig config) : config_(config) {}
+
+  /// One arrival (identified by its session index). kAdmit activates it
+  /// now; kQueue parks it FIFO until on_complete frees a slot; kShed drops
+  /// it for good.
+  Decision offer(int session);
+
+  /// One active session finished. Returns the session index admitted from
+  /// the head of the queue to take its slot, or -1 when the queue is empty.
+  int on_complete();
+
+  int active() const { return active_; }
+  int waiting() const { return static_cast<int>(queue_.size()); }
+
+  // Cumulative tallies for ServeStats.
+  int offered() const { return offered_; }
+  int admitted() const { return admitted_; }
+  /// Arrivals that went through the queue before being admitted.
+  int queued() const { return queued_; }
+  int shed() const { return static_cast<int>(shed_sessions_.size()); }
+  /// The exact arrivals that were shed, in offer order.
+  const std::vector<int>& shed_sessions() const { return shed_sessions_; }
+
+ private:
+  AdmissionConfig config_;
+  std::deque<int> queue_;
+  std::vector<int> shed_sessions_;
+  int active_ = 0;
+  int offered_ = 0;
+  int admitted_ = 0;
+  int queued_ = 0;
+};
+
+}  // namespace icoil::serve

@@ -1,0 +1,41 @@
+#include "serve/deadline_tuner.hpp"
+
+#include <algorithm>
+
+#include "mathkit/stats.hpp"
+
+namespace icoil::serve {
+
+DeadlineTuner::DeadlineTuner(const DeadlineTunerConfig& config,
+                             double initial_ms)
+    : config_(config) {
+  if (config_.window == 0) config_.window = 1;
+  config_.gain = std::clamp(config_.gain, 1e-3, 1.0);
+  deadline_ms_ = clamp(initial_ms > 0.0 ? initial_ms : config_.max_ms);
+  window_.reserve(config_.window);
+}
+
+double DeadlineTuner::clamp(double ms) const {
+  return std::clamp(ms, config_.min_ms, config_.max_ms);
+}
+
+double DeadlineTuner::target_ms() const {
+  if (window_.empty()) return config_.min_ms;
+  return clamp(config_.headroom * math::percentile(window_, 99.0));
+}
+
+double DeadlineTuner::observe(double frame_ms) {
+  if (window_.size() < config_.window) {
+    window_.push_back(frame_ms);
+  } else {
+    window_[next_] = frame_ms;
+    next_ = (next_ + 1) % config_.window;
+  }
+  // Exponential approach: monotone toward the target while the target holds
+  // still, smooth when it moves. Always clamped.
+  const double target = target_ms();
+  deadline_ms_ = clamp(deadline_ms_ + config_.gain * (target - deadline_ms_));
+  return deadline_ms_;
+}
+
+}  // namespace icoil::serve

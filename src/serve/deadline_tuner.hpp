@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace icoil::serve {
+
+/// Autotuning policy for per-session frame deadlines.
+struct DeadlineTunerConfig {
+  bool enabled = false;
+  double min_ms = 5.0;      ///< clamp floor for the tuned deadline
+  double max_ms = 200.0;    ///< clamp ceiling (and the starting deadline
+                            ///< when no static frame_deadline_ms is set)
+  double headroom = 1.5;    ///< deadline target = headroom * rolling p99
+  std::size_t window = 64;  ///< rolling window of observed frame latencies
+  double gain = 0.25;       ///< fraction of (target - deadline) applied per
+                            ///< observation; in (0, 1]
+};
+
+/// Per-session frame-deadline autotuner: tracks a rolling p99 of observed
+/// frame latency and steers the deadline toward headroom * p99, clamped to
+/// [min_ms, max_ms]. The tuned value feeds sim::Session::
+/// set_frame_deadline_ms, i.e. the existing core::FrameContext budget
+/// machinery — controllers degrade to best-so-far when it trips.
+///
+/// The update is a pure function of the observed latency sequence (no
+/// internal clock or randomness), so for a fixed latency stream the tuned
+/// deadline sequence is deterministic; for a CONSTANT latency stream it
+/// converges monotonically to the clamped target (tested). One instance
+/// per session — never shared across threads.
+class DeadlineTuner {
+ public:
+  /// `initial_ms` seeds the deadline (a configured static
+  /// frame_deadline_ms); <= 0 starts at max_ms, the permissive end, so the
+  /// tuner only tightens once it has evidence.
+  explicit DeadlineTuner(const DeadlineTunerConfig& config,
+                         double initial_ms = 0.0);
+
+  /// Feed one observed frame latency; returns the deadline to apply to the
+  /// NEXT frame (already clamped).
+  double observe(double frame_ms);
+
+  double deadline_ms() const { return deadline_ms_; }
+  /// Current clamped target (headroom * rolling p99); min_ms before any
+  /// observation.
+  double target_ms() const;
+
+ private:
+  double clamp(double ms) const;
+
+  DeadlineTunerConfig config_;
+  std::vector<double> window_;  ///< ring buffer of recent frame latencies
+  std::size_t next_ = 0;
+  double deadline_ms_;
+};
+
+}  // namespace icoil::serve

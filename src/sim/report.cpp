@@ -390,6 +390,42 @@ CellRecord read_cell(const JsonValue& v) {
   return cell;
 }
 
+void write_latency_summary(std::string& out, const core::LatencySummary& s) {
+  JsonScope o(out, '{', '}');
+  o.field("count") += std::to_string(s.count);
+  o.field("mean_ms") += fmt_double(s.mean_ms);
+  o.field("p50_ms") += fmt_double(s.p50_ms);
+  o.field("p90_ms") += fmt_double(s.p90_ms);
+  o.field("p99_ms") += fmt_double(s.p99_ms);
+  o.field("max_ms") += fmt_double(s.max_ms);
+}
+
+void write_load_level(std::string& out, const ServeLoadLevel& level) {
+  JsonScope l(out, '{', '}');
+  l.field("offered") += std::to_string(level.offered);
+  l.field("admitted") += std::to_string(level.admitted);
+  l.field("shed") += std::to_string(level.shed);
+  l.field("frames") += std::to_string(level.frames);
+  l.field("wall_seconds") += fmt_double(level.wall_seconds);
+  l.field("frames_per_second") += fmt_double(level.frames_per_second);
+  l.field("frame_p50_ms") += fmt_double(level.frame_p50_ms);
+  l.field("frame_p99_ms") += fmt_double(level.frame_p99_ms);
+  l.field("queue_p99_ms") += fmt_double(level.queue_p99_ms);
+  l.field("deadline_hits") += std::to_string(level.deadline_hits);
+  l.field("knee") += level.knee ? "true" : "false";
+}
+
+core::LatencySummary read_latency_summary(const JsonValue& v) {
+  core::LatencySummary s;
+  s.count = get_u64_string(v, "count");
+  s.mean_ms = get_number(v, "mean_ms");
+  s.p50_ms = get_number(v, "p50_ms");
+  s.p90_ms = get_number(v, "p90_ms");
+  s.p99_ms = get_number(v, "p99_ms");
+  s.max_ms = get_number(v, "max_ms");
+  return s;
+}
+
 CellRecord cell_from_aggregate(const SuiteCell& cell, const Aggregate& agg) {
   CellRecord rec;
   rec.label = agg.level;
@@ -508,17 +544,43 @@ std::string RunReport::to_json() const {
     }
     if (serve.has_value()) {
       JsonScope s(doc.field("serve"), '{', '}');
+      s.field("version") += std::to_string(kServeStatsVersion);
       append_string(s.field("method"), serve->method);
       s.field("sessions") += std::to_string(serve->sessions);
       s.field("threads") += std::to_string(serve->threads);
+      s.field("offered") += std::to_string(serve->offered);
+      s.field("admitted") += std::to_string(serve->admitted);
+      s.field("queued") += std::to_string(serve->queued);
+      s.field("shed") += std::to_string(serve->shed);
       s.field("frames") += std::to_string(serve->frames);
       s.field("wall_seconds") += fmt_double(serve->wall_seconds);
       s.field("frames_per_second") += fmt_double(serve->frames_per_second);
-      s.field("frame_p50_ms") += fmt_double(serve->frame_p50_ms);
-      s.field("frame_p99_ms") += fmt_double(serve->frame_p99_ms);
-      s.field("frame_max_ms") += fmt_double(serve->frame_max_ms);
+      write_latency_summary(s.field("frame"), serve->frame);
+      write_latency_summary(s.field("queue"), serve->queue);
+      write_latency_summary(s.field("warmup"), serve->warmup);
+      s.field("warmup_frames_per_session") +=
+          std::to_string(serve->warmup_frames_per_session);
       s.field("frame_deadline_ms") += fmt_double(serve->frame_deadline_ms);
       s.field("deadline_hits") += std::to_string(serve->deadline_hits);
+      if (serve->tuning.has_value()) {
+        const ServeStats::Tuning& t = *serve->tuning;
+        JsonScope ts(s.field("tuning"), '{', '}');
+        ts.field("min_ms") += fmt_double(t.min_ms);
+        ts.field("max_ms") += fmt_double(t.max_ms);
+        ts.field("headroom") += fmt_double(t.headroom);
+        ts.field("window") += std::to_string(t.window);
+        ts.field("deadline_min_ms") += fmt_double(t.deadline_min_ms);
+        ts.field("deadline_mean_ms") += fmt_double(t.deadline_mean_ms);
+        ts.field("deadline_max_ms") += fmt_double(t.deadline_max_ms);
+      }
+      if (!serve->levels.empty()) {
+        {
+          JsonScope ls(s.field("levels"), '[', ']');
+          for (const ServeLoadLevel& level : serve->levels)
+            write_load_level(ls.element(), level);
+        }
+        s.field("knee_offered") += std::to_string(serve->knee_offered);
+      }
       if (serve->batching.has_value()) {
         const ServeStats::Batching& b = *serve->batching;
         JsonScope bs(s.field("batching"), '{', '}');
@@ -583,17 +645,71 @@ bool RunReport::parse(const std::string& json, RunReport* out,
   if (const JsonValue* s = root.find("serve");
       s != nullptr && s->kind == JsonValue::Kind::kObject) {
     ServeStats stats;
+    stats.version = get_int(*s, "version", 1);
     stats.method = get_string(*s, "method");
     stats.sessions = get_int(*s, "sessions");
     stats.threads = get_int(*s, "threads");
     stats.frames = get_u64_string(*s, "frames");
     stats.wall_seconds = get_number(*s, "wall_seconds");
     stats.frames_per_second = get_number(*s, "frames_per_second");
-    stats.frame_p50_ms = get_number(*s, "frame_p50_ms");
-    stats.frame_p99_ms = get_number(*s, "frame_p99_ms");
-    stats.frame_max_ms = get_number(*s, "frame_max_ms");
+    // Admission counters arrived in v2; a v1 block admitted everything.
+    stats.offered = get_int(*s, "offered", stats.sessions);
+    stats.admitted = get_int(*s, "admitted", stats.sessions);
+    stats.queued = get_int(*s, "queued");
+    stats.shed = get_int(*s, "shed");
+    if (const JsonValue* f = s->find("frame");
+        f != nullptr && f->kind == JsonValue::Kind::kObject) {
+      stats.frame = read_latency_summary(*f);
+    } else {
+      // v1 fallback: flat frame_p50_ms/p99/max scalars, every served frame
+      // counted (v1 had no warmup split).
+      stats.frame.count = stats.frames;
+      stats.frame.p50_ms = get_number(*s, "frame_p50_ms");
+      stats.frame.p99_ms = get_number(*s, "frame_p99_ms");
+      stats.frame.max_ms = get_number(*s, "frame_max_ms");
+    }
+    if (const JsonValue* q = s->find("queue");
+        q != nullptr && q->kind == JsonValue::Kind::kObject)
+      stats.queue = read_latency_summary(*q);
+    if (const JsonValue* w = s->find("warmup");
+        w != nullptr && w->kind == JsonValue::Kind::kObject)
+      stats.warmup = read_latency_summary(*w);
+    stats.warmup_frames_per_session =
+        get_int(*s, "warmup_frames_per_session");
     stats.frame_deadline_ms = get_number(*s, "frame_deadline_ms");
     stats.deadline_hits = get_int(*s, "deadline_hits");
+    if (const JsonValue* t = s->find("tuning");
+        t != nullptr && t->kind == JsonValue::Kind::kObject) {
+      ServeStats::Tuning tuning;
+      tuning.min_ms = get_number(*t, "min_ms");
+      tuning.max_ms = get_number(*t, "max_ms");
+      tuning.headroom = get_number(*t, "headroom");
+      tuning.window = get_int(*t, "window");
+      tuning.deadline_min_ms = get_number(*t, "deadline_min_ms");
+      tuning.deadline_mean_ms = get_number(*t, "deadline_mean_ms");
+      tuning.deadline_max_ms = get_number(*t, "deadline_max_ms");
+      stats.tuning = tuning;
+    }
+    if (const JsonValue* ls = s->find("levels");
+        ls != nullptr && ls->kind == JsonValue::Kind::kArray) {
+      for (const JsonValue& l : ls->array) {
+        if (l.kind != JsonValue::Kind::kObject) continue;
+        ServeLoadLevel level;
+        level.offered = get_int(l, "offered");
+        level.admitted = get_int(l, "admitted");
+        level.shed = get_int(l, "shed");
+        level.frames = get_u64_string(l, "frames");
+        level.wall_seconds = get_number(l, "wall_seconds");
+        level.frames_per_second = get_number(l, "frames_per_second");
+        level.frame_p50_ms = get_number(l, "frame_p50_ms");
+        level.frame_p99_ms = get_number(l, "frame_p99_ms");
+        level.queue_p99_ms = get_number(l, "queue_p99_ms");
+        level.deadline_hits = get_int(l, "deadline_hits");
+        level.knee = get_bool(l, "knee");
+        stats.levels.push_back(level);
+      }
+      stats.knee_offered = get_int(*s, "knee_offered");
+    }
     if (const JsonValue* b = s->find("batching");
         b != nullptr && b->kind == JsonValue::Kind::kObject) {
       ServeStats::Batching batching;

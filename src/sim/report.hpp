@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/latency_histogram.hpp"
 #include "sim/evaluator.hpp"
 
 namespace icoil::sim {
@@ -75,8 +76,32 @@ struct CellRecord {
   std::vector<EpisodeRecord> episode_records;  ///< empty unless requested
 };
 
-/// Serving-workload metrics of one bench_serve run: N concurrent stepwise
-/// sessions interleaved on one pool, each step() timed as one served frame.
+/// Version of the `serve` block inside a report. v1 carried flat
+/// frame_p50_ms/p99/max scalars and no admission fields; v2 carries
+/// core::LatencySummary digests (frame/queue/warmup), admission counters,
+/// tuned-deadline stats and the per-load-level sweep rows. The loader
+/// still reads v1 blocks (legacy scalars land in the frame summary).
+inline constexpr int kServeStatsVersion = 2;
+
+/// One row of a saturation sweep (`bench_serve --sessions 1,10,100,...`):
+/// the headline numbers of one load level, offered load ascending.
+struct ServeLoadLevel {
+  int offered = 0;                   ///< sessions offered at this level
+  int admitted = 0;                  ///< sessions actually served
+  int shed = 0;                      ///< sessions dropped by admission
+  std::uint64_t frames = 0;          ///< frames served (incl. warmup)
+  double wall_seconds = 0.0;
+  double frames_per_second = 0.0;
+  double frame_p50_ms = 0.0;         ///< warmup-excluded frame latency
+  double frame_p99_ms = 0.0;
+  double queue_p99_ms = 0.0;         ///< admission queue-time tail
+  int deadline_hits = 0;
+  bool knee = false;                 ///< the identified saturation knee row
+};
+
+/// Serving-workload metrics of one serve::Frontend run: N concurrent
+/// stepwise sessions interleaved on one pool behind admission control, each
+/// step() timed as one served frame.
 struct ServeStats {
   /// Batched-inference service counters (il::BatchStats), recorded when the
   /// run used --batch-inference: tick/batch shape plus where the service's
@@ -92,18 +117,40 @@ struct ServeStats {
     double scatter_seconds = 0.0;   ///< result unpacking overhead
   };
 
+  /// serve::DeadlineTuner provenance + what it actually applied: the config
+  /// echo plus min/mean/max over every deadline the tuner handed a session.
+  struct Tuning {
+    double min_ms = 0.0;            ///< configured clamp floor
+    double max_ms = 0.0;            ///< configured clamp ceiling
+    double headroom = 0.0;          ///< configured p99 multiplier
+    int window = 0;                 ///< configured rolling-window length
+    double deadline_min_ms = 0.0;   ///< tightest deadline ever applied
+    double deadline_mean_ms = 0.0;  ///< mean applied deadline
+    double deadline_max_ms = 0.0;   ///< loosest deadline ever applied
+  };
+
+  int version = kServeStatsVersion;
   std::string method;                ///< controller registry key
-  int sessions = 0;                  ///< concurrent Session count
+  int sessions = 0;                  ///< sessions offered (== offered)
   int threads = 0;                   ///< pool worker count
-  std::uint64_t frames = 0;          ///< total frames served
+  int offered = 0;                   ///< arrivals offered to admission
+  int admitted = 0;                  ///< arrivals served (now or from queue)
+  int queued = 0;                    ///< admitted arrivals that had to wait
+  int shed = 0;                      ///< arrivals dropped (queue full)
+  std::uint64_t frames = 0;          ///< total frames served (incl. warmup)
   double wall_seconds = 0.0;
   double frames_per_second = 0.0;
-  double frame_p50_ms = 0.0;         ///< median per-frame step latency
-  double frame_p99_ms = 0.0;
-  double frame_max_ms = 0.0;
-  double frame_deadline_ms = 0.0;    ///< configured budget (0 = none)
-  int deadline_hits = 0;             ///< frames degraded by that budget
+  core::LatencySummary frame;        ///< per-frame latency, warmup excluded
+  core::LatencySummary queue;        ///< admission queue time per admission
+  core::LatencySummary warmup;       ///< cold-start frames, kept separately
+  int warmup_frames_per_session = 0; ///< leading frames classed as warmup
+  double frame_deadline_ms = 0.0;    ///< configured static budget (0 = none)
+  int deadline_hits = 0;             ///< frames degraded by a frame budget
+  std::optional<Tuning> tuning;      ///< present when autotuning ran
   std::optional<Batching> batching;  ///< present for --batch-inference runs
+  std::vector<ServeLoadLevel> levels;  ///< sweep rows (empty for one level)
+  int knee_offered = 0;              ///< offered load at the saturation
+                                     ///< knee; 0 = none identified
 };
 
 /// A versioned, machine-readable record of one bench/suite run: run

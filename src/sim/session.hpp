@@ -81,6 +81,12 @@ class Session {
   std::size_t frame() const { return frame_; }
   double sim_time() const { return static_cast<double>(frame_) * config_.dt; }
 
+  /// Replaces the per-frame wall-clock budget applied to FUTURE frames —
+  /// the serve::DeadlineTuner feedback hook. Takes effect on the next
+  /// step()/stage(); <= 0 removes the deadline. Call only between frames,
+  /// from the thread driving this Session.
+  void set_frame_deadline_ms(double ms) { config_.frame_deadline_ms = ms; }
+
   const SimConfig& config() const { return config_; }
   const vehicle::State& state() const { return state_; }
   const world::World& world() const { return world_; }
