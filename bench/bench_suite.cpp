@@ -16,6 +16,9 @@
 //     --methods LIST     comma list of controller registry keys
 //                        (default: suite-specific; see --list-methods)
 //     --list-methods     print the registered method keys and exit 0
+//     --list-generators  print the registered scenario generators and exit 0
+//     --collision-backend NAME  static-collision backend: analytic | grid
+//     --grid-resolution X       grid backend cell size in metres
 //     --report PATH      write the RunReport JSON artifact
 //     --baseline PATH    load a reference RunReport and exit 1 on regression
 //     --success-tol X    allowed absolute success-ratio drop (default 0.02)
@@ -45,10 +48,11 @@ using icoil::bench::parse_int_arg;
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [table2|fig8|zoo] [--episodes N] [--methods LIST] "
-               "[--list-methods] [--report PATH] [--baseline PATH] "
-               "[--success-tol X] [--park-tol X] [--budget S] "
-               "[--frame-deadline-ms X] [--per-episode] [--threads N] "
-               "[--csv PATH] [--quick]\n",
+               "[--list-methods] [--list-generators] [--report PATH] "
+               "[--baseline PATH] [--success-tol X] [--park-tol X] "
+               "[--budget S] [--frame-deadline-ms X] "
+               "[--collision-backend analytic|grid] [--grid-resolution X] "
+               "[--per-episode] [--threads N] [--csv PATH] [--quick]\n",
                argv0);
   return 2;
 }
@@ -72,6 +76,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--list-methods") {
       bench::print_registered_methods(stdout);
       return 0;
+    } else if (arg == "--list-generators") {
+      bench::print_registered_generators(stdout);
+      return 0;
+    } else if (arg == "--collision-backend") {
+      const char* v = next_value();
+      if (v == nullptr) return usage(argv[0]);
+      opts.collision_backend = v;
+    } else if (arg == "--grid-resolution") {
+      const char* v = next_value();
+      if (v == nullptr || !parse_double_arg(v, &opts.grid_resolution) ||
+          opts.grid_resolution <= 0.0)
+        return usage(argv[0]);
     } else if (arg == "--episodes") {
       const char* v = next_value();
       if (v == nullptr || !parse_int_arg(v, &opts.episodes) || opts.episodes <= 0)

@@ -16,6 +16,7 @@
 #include "nn/layers.hpp"
 #include "sensing/bev.hpp"
 #include "world/scenario.hpp"
+#include "world/world.hpp"
 
 namespace {
 
@@ -81,6 +82,40 @@ void BM_HybridAStarPlan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HybridAStarPlan)->Unit(benchmark::kMillisecond);
+
+// Static clearance through both collision backends at growing obstacle
+// count: the analytic OBB narrow phase scans every box, the grid backend
+// answers from the distance field in O(1) outside its conservative band.
+void BM_Clearance(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0));
+  const bool use_grid = state.range(1) != 0;
+  world::ScenarioOptions options;
+  options.generator = "crowded_lot";
+  options.difficulty = world::Difficulty::kNormal;
+  options.params.set("density", density);
+  const world::Scenario sc = world::make_scenario(options, 7);
+  const world::World world{
+      sc, {use_grid ? world::CollisionBackend::kGrid
+                    : world::CollisionBackend::kAnalytic,
+           world::DistanceField::kDefaultResolution}};
+  const vehicle::BicycleModel model{vehicle::VehicleParams{}};
+  math::Rng rng(99);
+  std::vector<geom::Obb> fps;
+  for (int i = 0; i < 512; ++i) {
+    const geom::Aabb& b = sc.map.bounds;
+    fps.push_back(model.footprint(geom::Pose2{
+        rng.uniform(b.min.x, b.max.x), rng.uniform(b.min.y, b.max.y),
+        rng.uniform(0.0, geom::kTwoPi)}));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.static_clearance(fps[i]));
+    i = (i + 1) % fps.size();
+  }
+}
+BENCHMARK(BM_Clearance)
+    ->ArgsProduct({{1, 4, 10}, {0, 1}})  // {density, grid?}
+    ->Unit(benchmark::kNanosecond);
 
 void BM_BevRasterize(benchmark::State& state) {
   world::ScenarioOptions options;

@@ -35,6 +35,9 @@ struct RunSuiteOptions {
   int threads = 0;             ///< EvalConfig::num_threads (0 = hardware)
   double wall_budget = 0.0;    ///< per-cell wall-clock budget [s]; <=0 = off
   double frame_deadline_ms = 0.0;  ///< per-frame controller budget; <=0 = off
+  /// Static-collision backend name ("analytic" | "grid"); "" = analytic.
+  std::string collision_backend;
+  double grid_resolution = 0.0;    ///< grid cell size [m]; <=0 = default
   /// Pool-level abort token (typically tripped by a SIGINT handler): when it
   /// cancels mid-run, evaluation drains promptly and the partial report is
   /// still written, flagged meta.aborted.
@@ -53,6 +56,19 @@ inline void print_registered_methods(std::FILE* out) {
                  ("[" + spec.display_name + "]").c_str(),
                  spec.description.c_str(),
                  spec.needs_policy ? " (needs trained policy)" : "");
+  }
+}
+
+/// Prints the scenario generator registry (name, description) — the
+/// `bench_suite --list-generators` discovery listing, the scenario-side
+/// mirror of --list-methods.
+inline void print_registered_generators(std::FILE* out) {
+  const auto& registry = world::GeneratorRegistry::instance();
+  std::fprintf(out, "Registered scenario generators (%zu):\n", registry.size());
+  for (const std::string& name : registry.names()) {
+    const world::ScenarioGenerator* gen = registry.find(name);
+    std::fprintf(out, "  %-18s %s\n", name.c_str(),
+                 gen != nullptr ? gen->description().c_str() : "");
   }
 }
 
@@ -201,6 +217,17 @@ inline int run_suite_command(const std::string& which, RunSuiteOptions opts) {
   eval_config.abort = opts.abort;
   if (opts.frame_deadline_ms > 0.0)
     eval_config.sim.frame_deadline_ms = opts.frame_deadline_ms;
+  if (!opts.collision_backend.empty() &&
+      !world::parse_collision_backend(opts.collision_backend,
+                                      &eval_config.sim.collision_backend)) {
+    std::fprintf(stderr,
+                 "bench_suite: unknown collision backend \"%s\" "
+                 "(expected analytic|grid)\n",
+                 opts.collision_backend.c_str());
+    return 2;
+  }
+  if (opts.grid_resolution > 0.0)
+    eval_config.sim.grid_resolution = opts.grid_resolution;
   sim::Evaluator evaluator(eval_config);
 
   sim::RunReport report;

@@ -45,10 +45,14 @@ bool HybridAStar::pose_free(const geom::Pose2& pose,
 
 bool HybridAStar::pose_free(const geom::Pose2& pose,
                             const geom::ObbSet& obstacles,
-                            const geom::Aabb& bounds) const {
+                            const geom::Aabb& bounds,
+                            const world::DistanceField* field) const {
   const geom::Obb fp = model_.footprint(pose).inflated(config_.obstacle_margin);
   for (const geom::Vec2& c : fp.corners())
     if (!bounds.contains(c)) return false;
+  if (field != nullptr &&
+      field->probe(fp) == world::DistanceField::Probe::kFree)
+    return true;
   return !obstacles.any_overlap(fp);
 }
 
@@ -71,7 +75,8 @@ std::optional<RefPath> HybridAStar::plan(const geom::Pose2& start,
                                          const geom::Pose2& goal,
                                          const std::vector<geom::Obb>& obstacles,
                                          const geom::Aabb& bounds,
-                                         const core::FrameContext* frame) const {
+                                         const core::FrameContext* frame,
+                                         const world::DistanceField* field) const {
   const double radius = params_.min_turn_radius() * config_.rs_radius_factor;
   const ReedsShepp rs(radius);
   // Broad-phase cache: every expansion probes the same obstacle set.
@@ -96,7 +101,7 @@ std::optional<RefPath> HybridAStar::plan(const geom::Pose2& start,
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> open;
   std::unordered_map<long, double> best_g;
 
-  if (!pose_free(start, obstacle_set, bounds)) return std::nullopt;
+  if (!pose_free(start, obstacle_set, bounds, field)) return std::nullopt;
   nodes.push_back({start, 1, 0.0, 0.0, -1, {}});
   open.push({heuristic(start), 0});
   best_g[key_of(start, 1)] = 0.0;
@@ -135,7 +140,7 @@ std::optional<RefPath> HybridAStar::plan(const geom::Pose2& start,
         const auto samples = rs.sample(snapshot.pose, *path, config_.sample_step);
         bool free = true;
         for (const RsSample& s : samples) {
-          if (!pose_free(s.pose, obstacle_set, bounds)) {
+          if (!pose_free(s.pose, obstacle_set, bounds, field)) {
             free = false;
             break;
           }
@@ -160,7 +165,7 @@ std::optional<RefPath> HybridAStar::plan(const geom::Pose2& start,
           p.position.x += ds * std::cos(p.heading);
           p.position.y += ds * std::sin(p.heading);
           p.heading = geom::wrap_angle(p.heading + ds * yaw_rate);
-          if (!pose_free(p, obstacle_set, bounds)) {
+          if (!pose_free(p, obstacle_set, bounds, field)) {
             free = false;
             break;
           }

@@ -9,6 +9,7 @@
 #include "geom/broadphase.hpp"
 #include "geom/obb.hpp"
 #include "vehicle/kinematics.hpp"
+#include "world/distance_field.hpp"
 
 namespace icoil::co {
 
@@ -46,10 +47,15 @@ class HybridAStar {
   /// Returns nullopt when no path is found within the expansion budget.
   /// With `frame` set, the node-expansion loop polls it and gives up early
   /// (nullopt — callers fall back to Reeds-Shepp) once the budget trips.
+  /// With `field` set (the grid collision backend's distance field over the
+  /// SAME static obstacles), every expansion probe first tries the O(1)
+  /// certainly-free lookup and only runs the OBB narrow phase inside the
+  /// conservative band — identical accept/reject decisions, cheaper search.
   std::optional<RefPath> plan(const geom::Pose2& start, const geom::Pose2& goal,
                               const std::vector<geom::Obb>& obstacles,
                               const geom::Aabb& bounds,
-                              const core::FrameContext* frame = nullptr) const;
+                              const core::FrameContext* frame = nullptr,
+                              const world::DistanceField* field = nullptr) const;
 
   /// Straight-to-goal fallback: a pure Reeds-Shepp path ignoring obstacles.
   /// Used when the search budget is exhausted (the MPC still avoids
@@ -61,9 +67,12 @@ class HybridAStar {
   bool pose_free(const geom::Pose2& pose, const std::vector<geom::Obb>& obstacles,
                  const geom::Aabb& bounds) const;
   /// Broad-phase variant used by the search loop: `obstacles` carries
-  /// prebuilt AABBs so thousands of expansion probes prune cheaply.
+  /// prebuilt AABBs so thousands of expansion probes prune cheaply. An
+  /// optional distance `field` short-circuits certainly-free probes in O(1)
+  /// before the set is consulted (exact — see plan()).
   bool pose_free(const geom::Pose2& pose, const geom::ObbSet& obstacles,
-                 const geom::Aabb& bounds) const;
+                 const geom::Aabb& bounds,
+                 const world::DistanceField* field = nullptr) const;
 
  private:
   HybridAStarConfig config_;

@@ -19,7 +19,8 @@ bool CoPlanner::plan_reference(const geom::Pose2& start, const geom::Pose2& goal
   pending_plan_ = false;  // a direct plan overrides a deferred one
   static_obstacles_ = static_obstacles;
   bounds_ = bounds;
-  if (auto path = astar_.plan(start, goal, static_obstacles, bounds, frame)) {
+  if (auto path =
+          astar_.plan(start, goal, static_obstacles, bounds, frame, field_)) {
     ref_ = std::move(*path);
   } else {
     ref_ = astar_.reeds_shepp_fallback(start, goal);
@@ -38,7 +39,9 @@ void CoPlanner::defer_reference(const geom::Pose2& start,
   pending_goal_ = goal;
   pending_static_ = std::move(static_obstacles);
   pending_bounds_ = bounds;
-  // The old episode's reference is stale the moment a new one is deferred.
+  // The old episode's reference is stale the moment a new one is deferred,
+  // and so is any distance field borrowed from that episode's world.
+  field_ = nullptr;
   ref_ = RefPath{};
   reset_progress();
 }

@@ -16,9 +16,10 @@ bool SafetyMonitor::rollout_collides(const world::World& world,
     s = model_.step(s, cmd, config_.dt);
     const double t = world.time() + i * config_.dt;
     const geom::Obb fp = model_.footprint(s).inflated(config_.margin);
-    // Statics hold still over the rollout: reuse the world's broad-phase
-    // cache instead of rebuilding it every control step.
-    if (world.static_obstacle_set().any_overlap(fp)) return true;
+    // Statics hold still over the rollout: the world's backend-aware query
+    // reuses its broad-phase cache (and, under the grid backend, the
+    // distance field's O(1) certainly-free fast path).
+    if (world.static_collision(fp)) return true;
     // Dynamic obstacles move during the rollout: check predicted footprints.
     const geom::Aabb fp_bb = fp.aabb();
     for (std::size_t idx : world.dynamic_obstacle_indices()) {

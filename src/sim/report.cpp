@@ -484,6 +484,11 @@ std::uint64_t config_fingerprint(const EvalConfig& config) {
   // A frame deadline changes which commands controllers emit, so two runs
   // with different deadlines are not outcome-comparable.
   h.add_double(config.sim.frame_deadline_ms);
+  // The grid backend keeps collision verdicts exact, but reported clearance
+  // values become conservative lower bounds (resolution sets the band), so
+  // clearance-bearing stats are only comparable within one backend setting.
+  h.add_int(static_cast<std::int64_t>(config.sim.collision_backend));
+  h.add_double(config.sim.grid_resolution);
   return h.value();
 }
 
@@ -592,6 +597,28 @@ std::string RunReport::to_json() const {
         bs.field("gather_seconds") += fmt_double(b.gather_seconds);
         bs.field("forward_seconds") += fmt_double(b.forward_seconds);
         bs.field("scatter_seconds") += fmt_double(b.scatter_seconds);
+      }
+    }
+    if (collision.has_value()) {
+      JsonScope col(doc.field("collision"), '{', '}');
+      col.field("version") += std::to_string(kCollisionStatsVersion);
+      append_string(col.field("generator"), collision->generator);
+      col.field("grid_resolution") += fmt_double(collision->grid_resolution);
+      JsonScope rows(col.field("rows"), '[', ']');
+      for (const CollisionDensityRow& r : collision->rows) {
+        JsonScope row(rows.element(), '{', '}');
+        row.field("density") += fmt_double(r.density);
+        row.field("obstacles") += std::to_string(r.obstacles);
+        row.field("analytic_qps") += fmt_double(r.analytic_qps);
+        row.field("grid_qps") += fmt_double(r.grid_qps);
+        row.field("speedup") += fmt_double(r.speedup);
+        row.field("analytic_episode_seconds") +=
+            fmt_double(r.analytic_episode_seconds);
+        row.field("grid_episode_seconds") += fmt_double(r.grid_episode_seconds);
+        row.field("clearance_err_mean") += fmt_double(r.clearance_err_mean);
+        row.field("clearance_err_max") += fmt_double(r.clearance_err_max);
+        row.field("episodes") += std::to_string(r.episodes);
+        row.field("verdicts_match") += r.verdicts_match ? "true" : "false";
       }
     }
   }
@@ -724,6 +751,34 @@ bool RunReport::parse(const std::string& json, RunReport* out,
       stats.batching = batching;
     }
     report.serve = stats;
+  }
+  if (const JsonValue* col = root.find("collision");
+      col != nullptr && col->kind == JsonValue::Kind::kObject) {
+    CollisionStats stats;
+    stats.version = get_int(*col, "version", 1);
+    stats.generator = get_string(*col, "generator");
+    stats.grid_resolution = get_number(*col, "grid_resolution");
+    if (const JsonValue* rows = col->find("rows");
+        rows != nullptr && rows->kind == JsonValue::Kind::kArray) {
+      for (const JsonValue& r : rows->array) {
+        if (r.kind != JsonValue::Kind::kObject) continue;
+        CollisionDensityRow row;
+        row.density = get_number(r, "density", 1.0);
+        row.obstacles = get_int(r, "obstacles");
+        row.analytic_qps = get_number(r, "analytic_qps");
+        row.grid_qps = get_number(r, "grid_qps");
+        row.speedup = get_number(r, "speedup");
+        row.analytic_episode_seconds =
+            get_number(r, "analytic_episode_seconds");
+        row.grid_episode_seconds = get_number(r, "grid_episode_seconds");
+        row.clearance_err_mean = get_number(r, "clearance_err_mean");
+        row.clearance_err_max = get_number(r, "clearance_err_max");
+        row.episodes = get_int(r, "episodes");
+        row.verdicts_match = get_bool(r, "verdicts_match", true);
+        stats.rows.push_back(row);
+      }
+    }
+    report.collision = stats;
   }
   if (const JsonValue* cs = root.find("cells");
       cs != nullptr && cs->kind == JsonValue::Kind::kArray) {

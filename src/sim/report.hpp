@@ -153,6 +153,35 @@ struct ServeStats {
                                      ///< knee; 0 = none identified
 };
 
+/// Version of the `collision` block inside a report.
+inline constexpr int kCollisionStatsVersion = 1;
+
+/// One density level of the collision-backend ablation (bench_collision):
+/// static-query rate for both backends, mean episode wall time, the
+/// grid backend's conservative clearance error, and whether episode
+/// verdicts matched the analytic backend seed-for-seed.
+struct CollisionDensityRow {
+  double density = 1.0;              ///< crowded_lot clutter multiplier
+  int obstacles = 0;                 ///< static obstacles in the sampled world
+  double analytic_qps = 0.0;         ///< clearance+collision queries / second
+  double grid_qps = 0.0;
+  double speedup = 0.0;              ///< grid_qps / analytic_qps
+  double analytic_episode_seconds = 0.0;  ///< mean episode wall time
+  double grid_episode_seconds = 0.0;
+  double clearance_err_mean = 0.0;   ///< analytic minus grid clearance [m]
+  double clearance_err_max = 0.0;
+  int episodes = 0;                  ///< episodes run per backend
+  bool verdicts_match = true;        ///< identical outcomes per seed
+};
+
+/// Collision-backend ablation metrics of one bench_collision run.
+struct CollisionStats {
+  int version = kCollisionStatsVersion;
+  std::string generator;             ///< scenario family swept
+  double grid_resolution = 0.0;      ///< [m]
+  std::vector<CollisionDensityRow> rows;  ///< density ascending
+};
+
 /// A versioned, machine-readable record of one bench/suite run: run
 /// metadata plus per-(cell, method) aggregates, optional per-episode
 /// records, and (for serving runs) the ServeStats block. Writer AND loader
@@ -162,6 +191,7 @@ struct RunReport {
   RunReportMeta meta;
   std::vector<CellRecord> cells;
   std::optional<ServeStats> serve;   ///< present for bench_serve runs
+  std::optional<CollisionStats> collision;  ///< bench_collision runs
 
   /// Appends one aggregate row per suite cell for `results`; call once per
   /// method when a run covers several.

@@ -4,8 +4,12 @@
 // regions, the goal-approach corridor and the patrol lane so every seed
 // keeps a feasible start and a reachable goal. Recognized parameters:
 //   num_obstacles   total roster size incl. 2 dynamics (default 10, min 8)
+//   density         multiplier on the clutter count (default 1.0); the
+//                   10x setting of the collision-backend ablation packs
+//                   ~60 clutter boxes into the same lot
 
 #include <algorithm>
+#include <cmath>
 
 #include "geom/angles.hpp"
 #include "world/generators/common.hpp"
@@ -19,7 +23,8 @@ class CrowdedLotGenerator final : public ScenarioGenerator {
   std::string name() const override { return "crowded_lot"; }
   std::string description() const override {
     return "Standard lot with dense random clutter, N >= 8 obstacles "
-           "(num_obstacles, default 10) + patrol and pedestrian";
+           "(num_obstacles, default 10; density multiplies the clutter "
+           "count) + patrol and pedestrian";
   }
 
   GeneratorOutput build(const GeneratorParams& params, Difficulty,
@@ -27,7 +32,11 @@ class CrowdedLotGenerator final : public ScenarioGenerator {
     GeneratorOutput out;
     out.map = ParkingLotMap::standard();
     const int total = std::max(8, params.get_int("num_obstacles", 10));
-    const int num_clutter = total - 4;  // 2 parked cars + 2 dynamics
+    const double density = std::max(0.0, params.get("density", 1.0));
+    // Density scales only the clutter: the fixed roster (parked cars,
+    // patrol, pedestrian) anchors the scenario at every multiplier.
+    const int num_clutter =
+        static_cast<int>(std::lround((total - 4) * density));
 
     int id = 0;
     append_flanking_cars(out.map, out.obstacles, id);

@@ -6,13 +6,27 @@
 
 namespace icoil::world {
 
-World::World(Scenario scenario) : scenario_(std::move(scenario)) {
+World::World(Scenario scenario, WorldConfig config)
+    : scenario_(std::move(scenario)), config_(config) {
   for (std::size_t i = 0; i < scenario_.obstacles.size(); ++i) {
     const Obstacle& o = scenario_.obstacles[i];
     if (o.dynamic())
       dynamic_indices_.push_back(i);
     else
       static_set_.push(o.shape);
+  }
+  if (config_.backend == CollisionBackend::kGrid)
+    field_.emplace(scenario_.map.bounds, static_set_.boxes(),
+                   config_.grid_resolution);
+  refresh_dynamic_boxes();
+}
+
+void World::refresh_dynamic_boxes() {
+  dynamic_boxes_.resize(dynamic_indices_.size());
+  dynamic_aabbs_.resize(dynamic_indices_.size());
+  for (std::size_t k = 0; k < dynamic_indices_.size(); ++k) {
+    dynamic_boxes_[k] = scenario_.obstacles[dynamic_indices_[k]].footprint_at(time_);
+    dynamic_aabbs_[k] = dynamic_boxes_[k].aabb();
   }
 }
 
@@ -32,32 +46,56 @@ std::vector<geom::Obb> World::obstacle_boxes() const {
   return out;
 }
 
+bool World::static_collision(const geom::Obb& footprint) const {
+  // Grid fast path: a certainly-free distance-field probe skips the
+  // analytic narrow phase; anything within the conservative band runs it,
+  // so the verdict matches the analytic backend exactly.
+  if (field_.has_value() &&
+      field_->probe(footprint) == DistanceField::Probe::kFree)
+    return false;
+  return static_set_.any_overlap(footprint);
+}
+
+double World::static_clearance(const geom::Obb& footprint,
+                               double cutoff) const {
+  if (field_.has_value()) {
+    const DistanceField::ClearanceBounds b =
+        field_->clearance_bounds(footprint);
+    if (b.lower >= cutoff) return cutoff;
+    // Outside the fallback band the conservative bound is the answer; near
+    // contact the analytic distance keeps min-clearance stats sharp. The
+    // field's upper bound caps that fallback's cutoff so the broad phase
+    // prunes every box beyond it (the true distance can't exceed it).
+    if (b.lower > config_.grid_resolution) return b.lower;
+    return static_set_.min_distance(footprint, std::min(cutoff, b.upper));
+  }
+  return static_set_.min_distance(footprint, cutoff);
+}
+
 bool World::in_collision(const geom::Obb& footprint) const {
   // Lot boundary: every footprint corner must stay inside.
   for (const geom::Vec2& c : footprint.corners())
     if (!scenario_.map.bounds.contains(c)) return true;
-  // Statics through the broad-phase cache, dynamics with a fresh AABB
-  // prefilter on their current footprint.
-  if (static_set_.any_overlap(footprint)) return true;
+  // Statics through the backend, dynamics with an AABB prefilter on their
+  // cached current footprints.
+  if (static_collision(footprint)) return true;
   const geom::Aabb fp_bb = footprint.aabb();
-  for (std::size_t i : dynamic_indices_) {
-    const geom::Obb box = scenario_.obstacles[i].footprint_at(time_);
-    if (!fp_bb.overlaps(box.aabb())) continue;
-    if (geom::overlaps(footprint, box)) return true;
+  for (std::size_t k = 0; k < dynamic_boxes_.size(); ++k) {
+    if (!fp_bb.overlaps(dynamic_aabbs_[k])) continue;
+    if (geom::overlaps(footprint, dynamic_boxes_[k])) return true;
   }
   return false;
 }
 
 double World::clearance(const geom::Obb& footprint) const {
-  // min_distance clamps to the kMaxClearance cutoff, so an obstacle-free
-  // scenario reports the sentinel (not +inf) and the dynamic-obstacle prune
-  // below starts from a finite bound.
-  double best = static_set_.min_distance(footprint, geom::kMaxClearance);
+  // static_clearance clamps to the kMaxClearance cutoff, so an
+  // obstacle-free scenario reports the sentinel (not +inf) and the
+  // dynamic-obstacle prune below starts from a finite bound.
+  double best = static_clearance(footprint, geom::kMaxClearance);
   const geom::Aabb fp_bb = footprint.aabb();
-  for (std::size_t i : dynamic_indices_) {
-    const geom::Obb box = scenario_.obstacles[i].footprint_at(time_);
-    if (geom::aabb_distance(fp_bb, box.aabb()) >= best) continue;
-    best = std::min(best, geom::obb_distance(footprint, box));
+  for (std::size_t k = 0; k < dynamic_boxes_.size(); ++k) {
+    if (geom::aabb_distance(fp_bb, dynamic_aabbs_[k]) >= best) continue;
+    best = std::min(best, geom::obb_distance(footprint, dynamic_boxes_[k]));
   }
   return best;
 }

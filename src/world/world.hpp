@@ -1,10 +1,12 @@
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "geom/broadphase.hpp"
 #include "geom/obb.hpp"
 #include "vehicle/kinematics.hpp"
+#include "world/distance_field.hpp"
 #include "world/scenario.hpp"
 
 namespace icoil::world {
@@ -17,21 +19,38 @@ struct ObstacleState {
   bool dynamic = false;
 };
 
+/// Collision-backend selection for a World instance. The grid backend
+/// rasterizes the static obstacles into a DistanceField once at
+/// construction; collision verdicts stay exact (uncertain lookups fall back
+/// to the analytic narrow phase), clearance values become conservative
+/// lower bounds outside the fallback band.
+struct WorldConfig {
+  CollisionBackend backend = CollisionBackend::kAnalytic;
+  double grid_resolution = DistanceField::kDefaultResolution;  ///< [m/cell]
+};
+
 /// The live environment: advances dynamic obstacles and answers geometric
 /// queries (collisions, goal membership). The World owns ground truth; the
 /// sensing module corrupts it into observations.
 class World {
  public:
-  explicit World(Scenario scenario);
+  explicit World(Scenario scenario, WorldConfig config = {});
 
   const Scenario& scenario() const { return scenario_; }
   const ParkingLotMap& map() const { return scenario_.map; }
+  const WorldConfig& config() const { return config_; }
   double time() const { return time_; }
 
   /// Advance world time (moves scripted obstacles).
-  void step(double dt) { time_ += dt; }
+  void step(double dt) {
+    time_ += dt;
+    refresh_dynamic_boxes();
+  }
   /// Reset world time to zero.
-  void reset() { time_ = 0.0; }
+  void reset() {
+    time_ = 0.0;
+    refresh_dynamic_boxes();
+  }
 
   /// Ground-truth obstacle footprints at the current time.
   std::vector<ObstacleState> obstacle_states() const;
@@ -43,6 +62,29 @@ class World {
   const std::vector<std::size_t>& dynamic_obstacle_indices() const {
     return dynamic_indices_;
   }
+  /// Dynamic obstacle footprints at the current time, cached per step():
+  /// collision/clearance queries run many times per frame and must not
+  /// re-derive the scripted poses each call. Index-aligned with
+  /// dynamic_obstacle_indices().
+  const std::vector<geom::Obb>& dynamic_boxes() const { return dynamic_boxes_; }
+
+  /// The static distance field (grid backend only; nullptr for analytic).
+  /// Stable for the World's lifetime — hand it to planners for the
+  /// pose_free fast path.
+  const DistanceField* distance_field() const {
+    return field_.has_value() ? &*field_ : nullptr;
+  }
+
+  /// True when `footprint` hits a STATIC obstacle. Backend-aware but exact
+  /// either way: the grid fast path only short-circuits certainly-free
+  /// queries. (Shared with the safety monitor's rollout.)
+  bool static_collision(const geom::Obb& footprint) const;
+  /// Distance from `footprint` to the nearest static obstacle, clamped to
+  /// `cutoff`. Under the grid backend this is a conservative lower bound
+  /// when the footprint is more than one cell clear of the set, the exact
+  /// analytic distance inside that band.
+  double static_clearance(const geom::Obb& footprint,
+                          double cutoff = geom::kMaxClearance) const;
 
   /// True if `footprint` hits any obstacle or leaves the lot bounds.
   bool in_collision(const geom::Obb& footprint) const;
@@ -55,13 +97,19 @@ class World {
                double heading_tol = 0.35) const;
 
  private:
+  void refresh_dynamic_boxes();
+
   Scenario scenario_;
+  WorldConfig config_;
   double time_ = 0.0;
   /// Broad-phase cache: static obstacle footprints never move, so their
   /// AABBs are computed once; dynamic obstacles are indexed for the
   /// per-query narrow phase.
   geom::ObbSet static_set_;
   std::vector<std::size_t> dynamic_indices_;
+  std::vector<geom::Obb> dynamic_boxes_;    ///< footprints at time_
+  std::vector<geom::Aabb> dynamic_aabbs_;   ///< their AABBs (prefilter)
+  std::optional<DistanceField> field_;      ///< grid backend only
 };
 
 }  // namespace icoil::world
