@@ -94,12 +94,12 @@ std::optional<RefPath> HybridAStar::plan(const geom::Pose2& start,
     const double h = geom::wrap_angle_2pi(p.heading);
     const long ti = std::lround(h / (geom::kTwoPi / config_.heading_bins)) %
                     config_.heading_bins;
-    return ((xi * 4096 + yi) * 64 + ti) * 2 + (dir > 0 ? 1 : 0);
+    return pack_grid_key(xi, yi, ti, dir);
   };
 
   std::vector<Node> nodes;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> open;
-  std::unordered_map<long, double> best_g;
+  std::unordered_map<std::int64_t, double> best_g;
 
   if (!pose_free(start, obstacle_set, bounds, field)) return std::nullopt;
   nodes.push_back({start, 1, 0.0, 0.0, -1, {}});
@@ -160,8 +160,8 @@ std::optional<RefPath> HybridAStar::plan(const geom::Pose2& start,
         std::vector<geom::Pose2> arc;
         bool free = true;
         const double ds = dir * config_.step / kArcSubsteps;
+        const double yaw_rate = std::tan(steer) / params_.wheelbase;
         for (int k = 0; k < kArcSubsteps; ++k) {
-          const double yaw_rate = std::tan(steer) / params_.wheelbase;
           p.position.x += ds * std::cos(p.heading);
           p.position.y += ds * std::sin(p.heading);
           p.heading = geom::wrap_angle(p.heading + ds * yaw_rate);
@@ -180,7 +180,7 @@ std::optional<RefPath> HybridAStar::plan(const geom::Pose2& start,
         cost += config_.steer_change_penalty * std::abs(steer - snapshot.steer);
         const double g = snapshot.g + cost;
 
-        const long key = key_of(p, dir);
+        const std::int64_t key = key_of(p, dir);
         const auto it = best_g.find(key);
         if (it != best_g.end() && it->second <= g) continue;
         best_g[key] = g;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -12,6 +13,22 @@
 #include "world/distance_field.hpp"
 
 namespace icoil::co {
+
+/// Packs a discretized SE(2) search state into disjoint bit fields of one
+/// int64: bit 0 = direction, bits 1-8 = heading bin, bits 9-32 = grid y
+/// (biased), bits 33-56 = grid x (biased). Every field gets its own bits, so
+/// two states collide only when every component matches — unlike the old
+/// `(xi * 4096 + yi) * ...` scheme, where |yi| >= 2048 overflowed into the
+/// x field and mixed-sign coordinates aliased. 24 bits per axis at the
+/// default 0.6 m resolution covers +/- 5000 km, far past any lot.
+inline std::int64_t pack_grid_key(long xi, long yi, long ti, int dir) {
+  constexpr long kBias = 1L << 23;
+  const std::uint64_t ux = static_cast<std::uint64_t>(xi + kBias) & 0xFFFFFFu;
+  const std::uint64_t uy = static_cast<std::uint64_t>(yi + kBias) & 0xFFFFFFu;
+  const std::uint64_t ut = static_cast<std::uint64_t>(ti) & 0xFFu;
+  return static_cast<std::int64_t>((ux << 33) | (uy << 9) | (ut << 1) |
+                                   (dir > 0 ? 1u : 0u));
+}
 
 /// Tuning of the hybrid-A* search over SE(2).
 struct HybridAStarConfig {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <set>
 
 #include "co/hybrid_astar.hpp"
 #include "co/planner.hpp"
@@ -416,6 +418,31 @@ TEST(CoPlannerTest, HoldsStillAtGoal) {
   const vehicle::Command cmd = planner.act(s, {});
   EXPECT_DOUBLE_EQ(cmd.throttle, 0.0);
   EXPECT_GT(cmd.brake, 0.5);
+}
+
+TEST(HybridAStarTest, GridKeyPackingDoesNotAlias) {
+  // Pairs that collided under the old ((xi * 4096 + yi) * 64 + ti) * 2 + dir
+  // scheme: a y overflow into the x field, and mixed-sign aliasing.
+  EXPECT_EQ(((5L * 4096 + 2048) * 64 + 3) * 2 + 1,
+            ((6L * 4096 - 2048) * 64 + 3) * 2 + 1);
+  EXPECT_NE(pack_grid_key(5, 2048, 3, 1), pack_grid_key(6, -2048, 3, 1));
+  EXPECT_EQ(((-1L * 4096 + 0) * 64 + 0) * 2 + 1,
+            ((0L * 4096 - 4096) * 64 + 0) * 2 + 1);
+  EXPECT_NE(pack_grid_key(-1, 0, 0, 1), pack_grid_key(0, -4096, 0, 1));
+
+  // Exhaustive uniqueness over a sampled state block: every component must
+  // participate in the key.
+  std::set<std::int64_t> seen;
+  int count = 0;
+  for (long xi : {-2048L, -7L, 0L, 9L, 2048L})
+    for (long yi : {-2048L, -3L, 0L, 11L, 2048L})
+      for (long ti : {0L, 1L, 35L})
+        for (int dir : {1, -1}) {
+          EXPECT_TRUE(seen.insert(pack_grid_key(xi, yi, ti, dir)).second)
+              << xi << "," << yi << "," << ti << "," << dir;
+          ++count;
+        }
+  EXPECT_EQ(static_cast<int>(seen.size()), count);
 }
 
 TEST(CoPlannerTest, PlanReferenceOnScenario) {
