@@ -19,6 +19,8 @@
 //     --list-generators  print the registered scenario generators and exit 0
 //     --collision-backend NAME  static-collision backend: analytic | grid
 //     --grid-resolution X       grid backend cell size in metres
+//     --planner-heuristic NAME  hybrid-A* heuristic for CO-backed methods:
+//                        euclid-rs | lut | dijkstra | max (default: max)
 //     --report PATH      write the RunReport JSON artifact
 //     --baseline PATH    load a reference RunReport and exit 1 on regression
 //     --success-tol X    allowed absolute success-ratio drop (default 0.02)
@@ -52,6 +54,7 @@ int usage(const char* argv0) {
                "[--baseline PATH] [--success-tol X] [--park-tol X] "
                "[--budget S] [--frame-deadline-ms X] "
                "[--collision-backend analytic|grid] [--grid-resolution X] "
+               "[--planner-heuristic euclid-rs|lut|dijkstra|max] "
                "[--per-episode] [--threads N] [--csv PATH] [--quick]\n",
                argv0);
   return 2;
@@ -88,6 +91,10 @@ int main(int argc, char** argv) {
       if (v == nullptr || !parse_double_arg(v, &opts.grid_resolution) ||
           opts.grid_resolution <= 0.0)
         return usage(argv[0]);
+    } else if (arg == "--planner-heuristic") {
+      const char* v = next_value();
+      if (v == nullptr) return usage(argv[0]);
+      opts.planner_heuristic = v;
     } else if (arg == "--episodes") {
       const char* v = next_value();
       if (v == nullptr || !parse_int_arg(v, &opts.episodes) || opts.episodes <= 0)

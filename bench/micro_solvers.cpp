@@ -4,8 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "co/heuristic.hpp"
 #include "co/hybrid_astar.hpp"
 #include "co/reeds_shepp.hpp"
+#include "sim/suite.hpp"
 #include "il/batch_inferencer.hpp"
 #include "il/observation.hpp"
 #include "il/policy.hpp"
@@ -82,6 +84,74 @@ void BM_HybridAStarPlan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HybridAStarPlan)->Unit(benchmark::kMillisecond);
+
+// --- Planner heuristic substrates ---------------------------------------
+// BM_RsLutValue vs BM_ReedsSheppShortest is the core trade of the cached
+// heuristic: a table read (tens of ns) replacing a full RS word search
+// (µs) per evaluation. BM_DijkstraCostMapBuild is the per-plan cost the
+// obstacle-aware term adds before the first expansion.
+
+void BM_RsLutValue(benchmark::State& state) {
+  const auto lut = co::RsHeuristicLut::shared({});  // one-time build, cached
+  math::Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lut->value_rel(
+        rng.uniform(-20, 20), rng.uniform(-20, 20), rng.uniform(-3.1, 3.1)));
+  }
+}
+BENCHMARK(BM_RsLutValue)->Unit(benchmark::kNanosecond);
+
+void BM_DijkstraCostMapBuild(benchmark::State& state) {
+  sim::SuiteCell cell;
+  cell.generator = "crowded_lot";
+  cell.difficulty = world::Difficulty::kNormal;
+  cell.params.set("density", static_cast<double>(state.range(0)));
+  const world::Scenario sc = world::make_scenario(cell.options(), 300);
+  std::vector<geom::Obb> obstacles;
+  for (const auto& o : sc.obstacles)
+    if (!o.dynamic()) obstacles.push_back(o.shape);
+  const co::HybridAStarConfig config;
+  const world::DistanceField field(sc.map.bounds, obstacles,
+                                   config.costmap_resolution);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        co::DijkstraCostMap(field, sc.map.goal_pose.position, 1.0));
+  }
+}
+BENCHMARK(BM_DijkstraCostMapBuild)->Arg(1)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+// The full search under each heuristic mode (0 = euclid-rs, 1 = lut,
+// 2 = dijkstra, 3 = max) on the dense crowded_lot cell — the ablation the
+// planner bench runs, reduced to one trackable number per mode.
+void BM_HybridAStarHeuristic(benchmark::State& state) {
+  sim::SuiteCell cell;
+  cell.generator = "crowded_lot";
+  cell.difficulty = world::Difficulty::kNormal;
+  cell.params.set("density", 4.0);
+  const world::Scenario sc = world::make_scenario(cell.options(), 300);
+  std::vector<geom::Obb> obstacles;
+  for (const auto& o : sc.obstacles)
+    if (!o.dynamic()) obstacles.push_back(o.shape);
+  co::HybridAStarConfig config;
+  config.heuristic = static_cast<co::HeuristicMode>(state.range(0));
+  state.SetLabel(co::to_string(config.heuristic));
+  const world::DistanceField field(sc.map.bounds, obstacles);
+  const co::HybridAStar astar(config, vehicle::VehicleParams{});
+  // Pay the one-time shared-LUT build outside the timed loop.
+  (void)astar.plan(sc.start_pose, sc.map.goal_pose, obstacles, sc.map.bounds,
+                   nullptr, &field);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(astar.plan(sc.start_pose, sc.map.goal_pose,
+                                        obstacles, sc.map.bounds, nullptr,
+                                        &field));
+  }
+}
+BENCHMARK(BM_HybridAStarHeuristic)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
 
 // Static clearance through both collision backends at growing obstacle
 // count: the analytic OBB narrow phase scans every box, the grid backend

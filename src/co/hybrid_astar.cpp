@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <queue>
-#include <unordered_map>
 
 #include "co/reeds_shepp.hpp"
 #include "geom/angles.hpp"
@@ -12,19 +11,103 @@ namespace icoil::co {
 
 namespace {
 
+/// Substeps per motion primitive — a compile-time constant so every node
+/// carries its incoming arc inline (no per-node heap allocation).
+constexpr int kArcSubsteps = 4;
+
+/// Arena node: fixed-size, contiguous, POD-copyable. The incoming primitive
+/// arc lives inline; `arc_len` is how many of the slots are valid (always
+/// kArcSubsteps for primitive nodes, 0 for the root).
 struct Node {
   geom::Pose2 pose;
-  int direction = 1;       ///< direction of the arc that reached this node
-  double steer = 0.0;      ///< steer of the arc that reached this node
+  geom::Pose2 arc[kArcSubsteps];
   double g = 0.0;
+  double steer = 0.0;  ///< steer of the arc that reached this node
   int parent = -1;
-  std::vector<geom::Pose2> arc;  ///< poses along the incoming primitive
+  int direction = 1;   ///< direction of the arc that reached this node
+  int arc_len = 0;
 };
 
 struct QueueEntry {
   double f = 0.0;
   int node = 0;
-  bool operator>(const QueueEntry& o) const { return f > o.f; }
+  bool operator>(const QueueEntry& o) const {
+    // Tie-break on arena index so the pop order (hence the returned path)
+    // is deterministic whenever two entries share an f value.
+    return f != o.f ? f > o.f : node > o.node;
+  }
+};
+
+/// One motion primitive precomputed in the node's local frame: substep
+/// offsets from the expanding pose plus the arc's fixed base cost. Per
+/// expansion only one sin/cos of the node heading and a handful of
+/// multiply-adds remain — tan(steer), the Euler chain and the cost terms
+/// are computed once per plan() instead of once per substep.
+struct ArcTemplate {
+  struct Sub {
+    double lx = 0.0;       ///< local-frame x offset
+    double ly = 0.0;       ///< local-frame y offset
+    double dheading = 0.0; ///< heading delta from the expanding pose
+  };
+  Sub sub[kArcSubsteps];
+  double steer = 0.0;
+  double base_cost = 0.0;  ///< step + steer penalty (direction-independent
+                           ///  terms folded in; switch/steer-change are not)
+  int direction = 1;
+};
+
+/// Flat open-addressed best-g table over packed grid keys: linear probing,
+/// power-of-two capacity, grown at 70% load. Replaces unordered_map's
+/// per-bucket allocations on the hottest per-push lookup.
+class BestGTable {
+ public:
+  BestGTable() { slots_.resize(kInitialCapacity); }
+
+  /// True when `g` improves (or first sets) the stored value for `key`;
+  /// stores it in that case.
+  bool improve(std::int64_t key, double g) {
+    if (10 * (size_ + 1) >= 7 * slots_.size()) grow();
+    Slot* slot = find(key);
+    if (!slot->used) {
+      slot->used = true;
+      slot->key = key;
+      slot->g = g;
+      ++size_;
+      return true;
+    }
+    if (slot->g <= g) return false;
+    slot->g = g;
+    return true;
+  }
+
+ private:
+  struct Slot {
+    std::int64_t key = 0;
+    double g = 0.0;
+    bool used = false;
+  };
+  static constexpr std::size_t kInitialCapacity = 1u << 13;
+
+  Slot* find(std::int64_t key) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i =
+        (static_cast<std::uint64_t>(key) * 0x9E3779B97F4A7C15ull) >> 32 & mask;
+    while (slots_[i].used && slots_[i].key != key) i = (i + 1) & mask;
+    return &slots_[i];
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    for (const Slot& s : old) {
+      if (!s.used) continue;
+      Slot* slot = find(s.key);
+      *slot = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
 };
 
 }  // namespace
@@ -76,16 +159,83 @@ std::optional<RefPath> HybridAStar::plan(const geom::Pose2& start,
                                          const std::vector<geom::Obb>& obstacles,
                                          const geom::Aabb& bounds,
                                          const core::FrameContext* frame,
-                                         const world::DistanceField* field) const {
+                                         const world::DistanceField* field,
+                                         PlanStats* stats) const {
+  PlanStats local_stats;
+  PlanStats& st = stats != nullptr ? *stats : local_stats;
+  st = PlanStats{};
+
   const double radius = params_.min_turn_radius() * config_.rs_radius_factor;
   const ReedsShepp rs(radius);
   // Broad-phase cache: every expansion probes the same obstacle set.
   const geom::ObbSet obstacle_set(obstacles);
 
+  // Heuristic terms per the configured mode. The Dijkstra sweep always runs
+  // over a raster built HERE from the raw obstacles (never the caller's
+  // collision `field`, whose presence and resolution depend on the
+  // collision backend) — the heuristic, and so the returned path, must be
+  // identical under every backend.
+  const HeuristicMode mode = config_.heuristic;
+  const bool use_exact_rs = mode == HeuristicMode::kEuclidRs;
+  const bool use_lut =
+      mode == HeuristicMode::kLut || mode == HeuristicMode::kMax;
+  const bool use_dijkstra =
+      mode == HeuristicMode::kDijkstra || mode == HeuristicMode::kMax;
+
+  std::shared_ptr<const RsHeuristicLut> lut;
+  std::shared_ptr<const RsHeuristicLut> lut_fine;
+  if (use_lut) {
+    lut = RsHeuristicLut::shared({radius, config_.lut_xy_resolution,
+                                  config_.lut_extent,
+                                  config_.lut_heading_bins});
+    if (config_.lut_fine_extent > 0.0)
+      lut_fine = RsHeuristicLut::shared({radius, config_.lut_fine_xy_resolution,
+                                         config_.lut_fine_extent,
+                                         config_.lut_fine_heading_bins});
+  }
+  std::optional<DijkstraCostMap> costmap;
+  if (use_dijkstra) {
+    // Disc the footprint is guaranteed to cover around the rear axle, plus
+    // the same margin pose_free inflates by: cells the sweep blocks are
+    // provably untraversable, so the cost-to-go stays a lower bound.
+    const double axle_disc =
+        std::min(params_.width / 2.0,
+                 params_.length / 2.0 - std::abs(params_.center_offset)) +
+        config_.obstacle_margin;
+    const world::DistanceField costmap_field(bounds, obstacles,
+                                             config_.costmap_resolution);
+    costmap.emplace(costmap_field, goal.position, axle_disc);
+  }
+
+  // The RS-table term only applies OUTSIDE the analytic-expansion disc.
+  // Inside it the RS shot fires on every pop, so near-goal ordering
+  // precision buys nothing — while the table's quantization error (a few
+  // decimetres) reshuffles the near-goal plateau and multiplies failing
+  // shot attempts on hard instances. Outside the disc the error is small
+  // relative to the distances involved and the table guides as well as the
+  // exact solve at a fraction of the cost.
+  const double lut_gate_sq = config_.rs_shot_radius * config_.rs_shot_radius;
   auto heuristic = [&](const geom::Pose2& p) {
-    const double euclid = geom::distance(p.position, goal.position);
-    const auto path = rs.shortest_path(p, goal);
-    return path ? std::max(euclid, rs.length(*path)) : euclid;
+    ++st.heuristic_evals;
+    const double dx = p.position.x - goal.position.x;
+    const double dy = p.position.y - goal.position.y;
+    const double dist_sq = dx * dx + dy * dy;
+    double h = std::sqrt(dist_sq);
+    if (use_exact_rs) {
+      const auto path = rs.shortest_path(p, goal);
+      if (path) h = std::max(h, rs.length(*path));
+    }
+    if (use_lut && dist_sq > lut_gate_sq) {
+      const geom::Vec2 rel = goal.to_local(p.position);
+      const double dth = p.heading - goal.heading;
+      h = std::max(h, lut->value_rel(rel.x, rel.y, dth));
+      if (lut_fine) h = std::max(h, lut_fine->value_rel(rel.x, rel.y, dth));
+    }
+    if (use_dijkstra) {
+      const double d = costmap->cost_to_go(p.position);
+      if (d > h) h = d;
+    }
+    return h;
   };
 
   auto key_of = [&](const geom::Pose2& p, int dir) {
@@ -98,24 +248,70 @@ std::optional<RefPath> HybridAStar::plan(const geom::Pose2& start,
   };
 
   std::vector<Node> nodes;
+  nodes.reserve(4096);
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> open;
-  std::unordered_map<std::int64_t, double> best_g;
+  BestGTable best_g;
 
   if (!pose_free(start, obstacle_set, bounds, field)) return std::nullopt;
-  nodes.push_back({start, 1, 0.0, 0.0, -1, {}});
+  {
+    Node root;
+    root.pose = start;
+    nodes.push_back(root);
+  }
   open.push({heuristic(start), 0});
-  best_g[key_of(start, 1)] = 0.0;
+  best_g.improve(key_of(start, 1), 0.0);
 
-  // Steer levels across [-max_steer, +max_steer].
-  std::vector<double> steers;
-  for (int i = 0; i < config_.num_steer_levels; ++i)
-    steers.push_back(config_.steer_fraction *
-                     (-params_.max_steer +
-                      2.0 * params_.max_steer * i /
-                          (config_.num_steer_levels - 1)));
+  // Motion-primitive templates: steer levels across [-max, +max] in both
+  // directions, substep geometry and base cost precomputed once.
+  std::vector<ArcTemplate> templates;
+  templates.reserve(static_cast<std::size_t>(2 * config_.num_steer_levels));
+  for (const int dir : {1, -1}) {
+    for (int i = 0; i < config_.num_steer_levels; ++i) {
+      const double steer =
+          config_.steer_fraction *
+          (-params_.max_steer +
+           2.0 * params_.max_steer * i / (config_.num_steer_levels - 1));
+      ArcTemplate tmpl;
+      tmpl.direction = dir;
+      tmpl.steer = steer;
+      tmpl.base_cost =
+          config_.step * (dir < 0 ? config_.reverse_penalty : 1.0) +
+          config_.steer_penalty * std::abs(steer) * config_.step;
+      const double ds = dir * config_.step / kArcSubsteps;
+      const double yaw_rate = std::tan(steer) / params_.wheelbase;
+      double lx = 0.0, ly = 0.0, lh = 0.0;
+      for (int k = 0; k < kArcSubsteps; ++k) {
+        lx += ds * std::cos(lh);
+        ly += ds * std::sin(lh);
+        lh += ds * yaw_rate;
+        tmpl.sub[k] = {lx, ly, lh};
+      }
+      templates.push_back(tmpl);
+    }
+  }
 
-  const int kArcSubsteps = 4;
+  // Sphere-marching short-circuit: with the EDT present, one conservative
+  // point lookup certifies a travel budget — every footprint whose rear
+  // axle stays within the returned distance of the probed point is provably
+  // inside bounds and clear of the statics (the lookup is a lower bound and
+  // r_cover is the footprint circumradius about the axle, margin included),
+  // so per-pose narrow-phase checks inside the budget can be skipped
+  // without changing a single accept/reject verdict.
+  const double r_cover =
+      std::abs(params_.center_offset) +
+      std::hypot(params_.length / 2.0 + config_.obstacle_margin,
+                 params_.width / 2.0 + config_.obstacle_margin);
+  auto certified_travel = [&](geom::Vec2 pos) {
+    if (field == nullptr) return 0.0;
+    const double db =
+        std::min(std::min(pos.x - bounds.min.x, bounds.max.x - pos.x),
+                 std::min(pos.y - bounds.min.y, bounds.max.y - pos.y));
+    return std::min(field->point_clearance(pos), db) - r_cover;
+  };
+  const double substep_len = config_.step / kArcSubsteps;
+
   int expansions = 0;
+  int pops_since_shot = config_.rs_shot_period;  // allow an immediate try
   std::vector<RsSample> shot;   // successful analytic expansion
   int shot_parent = -1;
 
@@ -133,64 +329,106 @@ std::optional<RefPath> HybridAStar::plan(const geom::Pose2& start,
     const Node snapshot = nodes[static_cast<std::size_t>(ni)];
     ++expansions;
 
-    // Analytic expansion: try a collision-checked Reeds-Shepp shot.
-    if (geom::distance(snapshot.pose.position, goal.position) <
-        config_.rs_shot_radius) {
+    // Analytic expansion: a collision-checked Reeds-Shepp shot. Inside
+    // rs_shot_radius every pop tries; farther out the attempt period grows
+    // with distance so the shot stops burning RS solves across the lot.
+    const double goal_dist =
+        geom::distance(snapshot.pose.position, goal.position);
+    const int shot_period =
+        goal_dist < config_.rs_shot_radius
+            ? 1
+            : config_.rs_shot_period *
+                  (1 + static_cast<int>(goal_dist / config_.rs_shot_radius));
+    if (++pops_since_shot >= shot_period) {
+      pops_since_shot = 0;
+      ++st.rs_shot_attempts;
       if (const auto path = rs.shortest_path(snapshot.pose, goal)) {
-        const auto samples = rs.sample(snapshot.pose, *path, config_.sample_step);
+        // Collision-check the samples from the GOAL end backward: when the
+        // goal corridor is blocked, every attempt collides near the goal —
+        // the one part all shots share — so the backward walk rejects each
+        // in a handful of probes instead of re-checking the long clear run
+        // from the start side. Consecutive samples sit at most sample_step
+        // apart along the path, so one clearance probe certifies whole runs
+        // of them (in either direction). Check order never changes the
+        // verdict: every sample must be free either way.
+        shot.clear();
+        rs.for_each_sample(snapshot.pose, *path, config_.sample_step,
+                           [&](const RsSample& s) {
+                             shot.push_back(s);
+                             return true;
+                           });
         bool free = true;
-        for (const RsSample& s : samples) {
-          if (!pose_free(s.pose, obstacle_set, bounds, field)) {
-            free = false;
-            break;
+        double certified = 0.0;
+        for (std::size_t i = shot.size(); i-- > 0;) {
+          if (certified >= config_.sample_step) {
+            certified -= config_.sample_step;
+            continue;
+          }
+          certified = certified_travel(shot[i].pose.position);
+          if (certified <= 0.0) {
+            certified = 0.0;
+            if (!pose_free(shot[i].pose, obstacle_set, bounds, field)) {
+              free = false;
+              break;
+            }
           }
         }
         if (free) {
-          shot = samples;
           shot_parent = ni;
+          st.solved_by_shot = true;
+          st.solution_cost = snapshot.g + rs.length(*path);
           break;
         }
       }
     }
 
-    // Expand motion primitives.
-    for (int dir : {1, -1}) {
-      for (double steer : steers) {
-        geom::Pose2 p = snapshot.pose;
-        std::vector<geom::Pose2> arc;
-        bool free = true;
-        const double ds = dir * config_.step / kArcSubsteps;
-        const double yaw_rate = std::tan(steer) / params_.wheelbase;
-        for (int k = 0; k < kArcSubsteps; ++k) {
-          p.position.x += ds * std::cos(p.heading);
-          p.position.y += ds * std::sin(p.heading);
-          p.heading = geom::wrap_angle(p.heading + ds * yaw_rate);
-          if (!pose_free(p, obstacle_set, bounds, field)) {
-            free = false;
-            break;
-          }
-          arc.push_back(p);
+    // Expand motion primitives by transforming each template through the
+    // node pose: one sin/cos per expansion, no allocation per node. One
+    // clearance probe at the node certifies every substep within its travel
+    // budget across ALL templates (substep k sits at most (k+1) substeps of
+    // arc length from the node), skipping their narrow-phase checks.
+    const double ch = std::cos(snapshot.pose.heading);
+    const double sh = std::sin(snapshot.pose.heading);
+    const double node_certified = certified_travel(snapshot.pose.position);
+    for (const ArcTemplate& tmpl : templates) {
+      Node next;
+      next.arc_len = kArcSubsteps;
+      bool free = true;
+      for (int k = 0; k < kArcSubsteps; ++k) {
+        const ArcTemplate::Sub& s = tmpl.sub[k];
+        const geom::Pose2 p{
+            snapshot.pose.position.x + s.lx * ch - s.ly * sh,
+            snapshot.pose.position.y + s.lx * sh + s.ly * ch,
+            geom::wrap_angle(snapshot.pose.heading + s.dheading)};
+        if ((k + 1) * substep_len > node_certified &&
+            !pose_free(p, obstacle_set, bounds, field)) {
+          free = false;
+          break;
         }
-        if (!free) continue;
-
-        double cost = config_.step * (dir < 0 ? config_.reverse_penalty : 1.0);
-        cost += config_.steer_penalty * std::abs(steer) * config_.step;
-        if (snapshot.parent >= 0 && dir != snapshot.direction)
-          cost += config_.switch_penalty;
-        cost += config_.steer_change_penalty * std::abs(steer - snapshot.steer);
-        const double g = snapshot.g + cost;
-
-        const std::int64_t key = key_of(p, dir);
-        const auto it = best_g.find(key);
-        if (it != best_g.end() && it->second <= g) continue;
-        best_g[key] = g;
-
-        nodes.push_back({p, dir, steer, g, ni, std::move(arc)});
-        open.push({g + heuristic(p), static_cast<int>(nodes.size()) - 1});
+        next.arc[k] = p;
       }
+      if (!free) continue;
+
+      double cost = tmpl.base_cost;
+      if (snapshot.parent >= 0 && tmpl.direction != snapshot.direction)
+        cost += config_.switch_penalty;
+      cost += config_.steer_change_penalty * std::abs(tmpl.steer - snapshot.steer);
+      const double g = snapshot.g + cost;
+
+      next.pose = next.arc[kArcSubsteps - 1];
+      if (!best_g.improve(key_of(next.pose, tmpl.direction), g)) continue;
+
+      next.g = g;
+      next.steer = tmpl.steer;
+      next.parent = ni;
+      next.direction = tmpl.direction;
+      nodes.push_back(next);
+      open.push({g + heuristic(next.pose), static_cast<int>(nodes.size()) - 1});
     }
   }
 
+  st.expansions = expansions;
+  st.nodes = static_cast<int>(nodes.size());
   if (shot_parent < 0) return std::nullopt;
 
   // Backtrack primitives, then append the analytic expansion.
@@ -203,7 +441,8 @@ std::optional<RefPath> HybridAStar::plan(const geom::Pose2& start,
     pts.push_back({nodes[static_cast<std::size_t>(chain.front())].pose, 1, 0.0});
     for (std::size_t c = 1; c < chain.size(); ++c) {
       const Node& n = nodes[static_cast<std::size_t>(chain[c])];
-      for (const geom::Pose2& ap : n.arc) pts.push_back({ap, n.direction, 0.0});
+      for (int k = 0; k < n.arc_len; ++k)
+        pts.push_back({n.arc[k], n.direction, 0.0});
     }
   }
   for (std::size_t i = 1; i < shot.size(); ++i)

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "co/heuristic.hpp"
 #include "co/refpath.hpp"
 #include "core/frame_context.hpp"
 #include "geom/aabb.hpp"
@@ -49,6 +50,48 @@ struct HybridAStarConfig {
   /// rs_radius_factor above the vehicle minimum.
   double steer_fraction = 0.8;
   double rs_radius_factor = 1.35;
+
+  /// Which lower bound guides the search (see co/heuristic.hpp). kMax — the
+  /// cached RS table max'd with the obstacle-aware Dijkstra sweep — is both
+  /// the cheapest per evaluation and the most informed; kEuclidRs keeps the
+  /// historical exact-RS-per-push behaviour for the ablation.
+  HeuristicMode heuristic = HeuristicMode::kMax;
+  /// Lattice of the shared Reeds-Shepp table (see RsLutSpec).
+  double lut_xy_resolution = 0.7;
+  /// Beyond the extent the table defers to the euclidean floor — far from
+  /// the goal RS length converges to it anyway. 24 m covers every lot.
+  double lut_extent = 24.0;
+  int lut_heading_bins = 36;
+  /// Second, finer LUT level over the near field, max'd with the coarse
+  /// table. RS length varies fastest (heading alignment, cusps) within a
+  /// few turning radii of the goal — exactly where the search density
+  /// peaks — so that region gets 2x resolution in all three axes while the
+  /// smooth far field stays cheap. 0 extent disables the level.
+  double lut_fine_extent = 12.0;
+  double lut_fine_xy_resolution = 0.35;
+  int lut_fine_heading_bins = 72;
+  /// Cell size of the per-plan Dijkstra cost-to-go raster [m]. Built by
+  /// plan() itself from the raw obstacles (never from the caller's
+  /// collision field), so the heuristic — and therefore the returned path —
+  /// is identical under every collision backend. 0.4 m keeps the sweep
+  /// under ~0.5 ms on a lot-sized raster.
+  double costmap_resolution = 0.4;
+  /// Analytic-expansion throttle: inside rs_shot_radius every pop attempts
+  /// the RS shot; outside, one attempt every rs_shot_period pops per
+  /// rs_shot_radius of distance (the period shrinks as the goal nears).
+  int rs_shot_period = 8;
+};
+
+/// Counters from one plan() call, for the planner bench and ablations.
+struct PlanStats {
+  int expansions = 0;        ///< nodes popped from the open list
+  int nodes = 0;             ///< nodes pushed (arena size)
+  int rs_shot_attempts = 0;  ///< analytic expansions tried
+  int heuristic_evals = 0;
+  bool solved_by_shot = false;
+  /// g at the shot node plus the analytic tail's length: the cost A*
+  /// minimized. Lets benches compare solution quality across heuristics.
+  double solution_cost = 0.0;
 };
 
 /// Hybrid A* path planner: searches kinematically feasible motion primitives
@@ -68,11 +111,13 @@ class HybridAStar {
   /// SAME static obstacles), every expansion probe first tries the O(1)
   /// certainly-free lookup and only runs the OBB narrow phase inside the
   /// conservative band — identical accept/reject decisions, cheaper search.
+  /// With `stats` set, expansion/shot counters are written there.
   std::optional<RefPath> plan(const geom::Pose2& start, const geom::Pose2& goal,
                               const std::vector<geom::Obb>& obstacles,
                               const geom::Aabb& bounds,
                               const core::FrameContext* frame = nullptr,
-                              const world::DistanceField* field = nullptr) const;
+                              const world::DistanceField* field = nullptr,
+                              PlanStats* stats = nullptr) const;
 
   /// Straight-to-goal fallback: a pure Reeds-Shepp path ignoring obstacles.
   /// Used when the search budget is exhausted (the MPC still avoids

@@ -19,8 +19,8 @@ bool CoPlanner::plan_reference(const geom::Pose2& start, const geom::Pose2& goal
   pending_plan_ = false;  // a direct plan overrides a deferred one
   static_obstacles_ = static_obstacles;
   bounds_ = bounds;
-  if (auto path =
-          astar_.plan(start, goal, static_obstacles, bounds, frame, field_)) {
+  if (auto path = astar_.plan(start, goal, static_obstacles, bounds, frame,
+                              field_, &plan_stats_)) {
     ref_ = std::move(*path);
   } else {
     ref_ = astar_.reeds_shepp_fallback(start, goal);

@@ -108,6 +108,10 @@ class CoPlanner {
   /// Result of the most recent MPC solve.
   const TrajOptResult& last_result() const { return last_result_; }
 
+  /// Search counters of the most recent hybrid-A* run (zeroed until the
+  /// first plan). Exposed for the planner bench and telemetry.
+  const PlanStats& last_plan_stats() const { return plan_stats_; }
+
   /// Reset per-episode progress (keeps the reference).
   void reset_progress();
 
@@ -135,6 +139,7 @@ class CoPlanner {
   int stall_frames_ = 0;
   std::vector<vehicle::PlannerControl> warm_;
   TrajOptResult last_result_;
+  PlanStats plan_stats_;
 };
 
 }  // namespace icoil::co

@@ -169,13 +169,14 @@ std::optional<RsPath> ReedsShepp::shortest_path(const geom::Pose2& from,
   return *best;
 }
 
-std::vector<RsSample> ReedsShepp::sample(const geom::Pose2& from,
-                                         const RsPath& path, double step) const {
-  std::vector<RsSample> out;
+bool ReedsShepp::for_each_sample(
+    const geom::Pose2& from, const RsPath& path, double step,
+    const std::function<bool(const RsSample&)>& visit) const {
   geom::Pose2 pose = from;
-  out.push_back({pose, path.segments.empty()
-                           ? 1
-                           : (path.segments.front().length >= 0.0 ? 1 : -1)});
+  if (!visit({pose, path.segments.empty()
+                        ? 1
+                        : (path.segments.front().length >= 0.0 ? 1 : -1)}))
+    return false;
 
   for (const RsSegment& seg : path.segments) {
     const double seg_len_m = std::abs(seg.length) * radius_;
@@ -200,10 +201,20 @@ std::vector<RsSample> ReedsShepp::sample(const geom::Pose2& from,
         p.position.y = seg_start.position.y -
                        (std::cos(p.heading) - std::cos(seg_start.heading)) / kappa;
       }
-      out.push_back({p, dir});
+      pose = p;
+      if (!visit({p, dir})) return false;
     }
-    pose = out.back().pose;
   }
+  return true;
+}
+
+std::vector<RsSample> ReedsShepp::sample(const geom::Pose2& from,
+                                         const RsPath& path, double step) const {
+  std::vector<RsSample> out;
+  for_each_sample(from, path, step, [&out](const RsSample& s) {
+    out.push_back(s);
+    return true;
+  });
   return out;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -59,6 +60,14 @@ class ReedsShepp {
   /// exact endpoint).
   std::vector<RsSample> sample(const geom::Pose2& from, const RsPath& path,
                                double step) const;
+
+  /// Streaming variant of sample(): invokes `visit` on each sample in path
+  /// order and stops at the first false. Returns true when every sample was
+  /// visited and accepted. Lets collision-checking callers (the hybrid-A*
+  /// analytic expansion) reject a blocked path at its first colliding pose
+  /// without materializing the whole sample vector first.
+  bool for_each_sample(const geom::Pose2& from, const RsPath& path, double step,
+                       const std::function<bool(const RsSample&)>& visit) const;
 
  private:
   double radius_;

@@ -489,6 +489,9 @@ std::uint64_t config_fingerprint(const EvalConfig& config) {
   // clearance-bearing stats are only comparable within one backend setting.
   h.add_int(static_cast<std::int64_t>(config.sim.collision_backend));
   h.add_double(config.sim.grid_resolution);
+  // Heuristic modes steer the search through different node orders, so two
+  // runs under different modes may return different paths for one scenario.
+  h.add_int(static_cast<std::int64_t>(config.sim.planner_heuristic));
   return h.value();
 }
 
@@ -619,6 +622,27 @@ std::string RunReport::to_json() const {
         row.field("clearance_err_max") += fmt_double(r.clearance_err_max);
         row.field("episodes") += std::to_string(r.episodes);
         row.field("verdicts_match") += r.verdicts_match ? "true" : "false";
+      }
+    }
+    if (planner.has_value()) {
+      JsonScope pl(doc.field("planner"), '{', '}');
+      pl.field("version") += std::to_string(kPlannerStatsVersion);
+      JsonScope rows(pl.field("rows"), '[', ']');
+      for (const PlannerFamilyRow& r : planner->rows) {
+        JsonScope row(rows.element(), '{', '}');
+        append_string(row.field("generator"), r.generator);
+        row.field("density") += fmt_double(r.density);
+        append_string(row.field("heuristic"), r.heuristic);
+        row.field("plans") += std::to_string(r.plans);
+        row.field("solved") += std::to_string(r.solved);
+        row.field("plan_ms_mean") += fmt_double(r.plan_ms_mean);
+        row.field("plan_ms_max") += fmt_double(r.plan_ms_max);
+        row.field("expansions_mean") += fmt_double(r.expansions_mean);
+        row.field("rs_shots_mean") += fmt_double(r.rs_shots_mean);
+        row.field("path_cost_mean") += fmt_double(r.path_cost_mean);
+        row.field("speedup") += fmt_double(r.speedup);
+        row.field("deadline_ms") += fmt_double(r.deadline_ms);
+        row.field("deadline_hits") += std::to_string(r.deadline_hits);
       }
     }
   }
@@ -779,6 +803,33 @@ bool RunReport::parse(const std::string& json, RunReport* out,
       }
     }
     report.collision = stats;
+  }
+  if (const JsonValue* pl = root.find("planner");
+      pl != nullptr && pl->kind == JsonValue::Kind::kObject) {
+    PlannerStats stats;
+    stats.version = get_int(*pl, "version", 1);
+    if (const JsonValue* rows = pl->find("rows");
+        rows != nullptr && rows->kind == JsonValue::Kind::kArray) {
+      for (const JsonValue& r : rows->array) {
+        if (r.kind != JsonValue::Kind::kObject) continue;
+        PlannerFamilyRow row;
+        row.generator = get_string(r, "generator");
+        row.density = get_number(r, "density", 1.0);
+        row.heuristic = get_string(r, "heuristic");
+        row.plans = get_int(r, "plans");
+        row.solved = get_int(r, "solved");
+        row.plan_ms_mean = get_number(r, "plan_ms_mean");
+        row.plan_ms_max = get_number(r, "plan_ms_max");
+        row.expansions_mean = get_number(r, "expansions_mean");
+        row.rs_shots_mean = get_number(r, "rs_shots_mean");
+        row.path_cost_mean = get_number(r, "path_cost_mean");
+        row.speedup = get_number(r, "speedup");
+        row.deadline_ms = get_number(r, "deadline_ms");
+        row.deadline_hits = get_int(r, "deadline_hits");
+        stats.rows.push_back(row);
+      }
+    }
+    report.planner = stats;
   }
   if (const JsonValue* cs = root.find("cells");
       cs != nullptr && cs->kind == JsonValue::Kind::kArray) {

@@ -182,6 +182,35 @@ struct CollisionStats {
   std::vector<CollisionDensityRow> rows;  ///< density ascending
 };
 
+inline constexpr int kPlannerStatsVersion = 1;
+
+/// One (family, density, heuristic-mode) cell of the planner ablation
+/// (bench_planner): hybrid-A* wall time and search-effort counters over a
+/// fixed seed set, plus the deadline-hit count of an optional budgeted
+/// pass. `speedup` is this mode's mean plan time relative to euclid-rs on
+/// the same (family, density) — 0 until the baseline row exists.
+struct PlannerFamilyRow {
+  std::string generator;
+  double density = 1.0;          ///< generator clutter multiplier
+  std::string heuristic;         ///< co::to_string(HeuristicMode)
+  int plans = 0;                 ///< scenarios attempted
+  int solved = 0;
+  double plan_ms_mean = 0.0;
+  double plan_ms_max = 0.0;
+  double expansions_mean = 0.0;  ///< nodes popped per plan
+  double rs_shots_mean = 0.0;    ///< analytic expansions tried per plan
+  double path_cost_mean = 0.0;   ///< solution cost (g + analytic tail) per solved plan
+  double speedup = 0.0;          ///< euclid-rs plan_ms_mean / this mode's
+  double deadline_ms = 0.0;      ///< budgeted pass frame deadline (0 = off)
+  int deadline_hits = 0;         ///< budgeted plans that tripped the frame
+};
+
+/// Planner-heuristic ablation metrics of one bench_planner run.
+struct PlannerStats {
+  int version = kPlannerStatsVersion;
+  std::vector<PlannerFamilyRow> rows;  ///< family-major, mode-minor
+};
+
 /// A versioned, machine-readable record of one bench/suite run: run
 /// metadata plus per-(cell, method) aggregates, optional per-episode
 /// records, and (for serving runs) the ServeStats block. Writer AND loader
@@ -192,6 +221,7 @@ struct RunReport {
   std::vector<CellRecord> cells;
   std::optional<ServeStats> serve;   ///< present for bench_serve runs
   std::optional<CollisionStats> collision;  ///< bench_collision runs
+  std::optional<PlannerStats> planner;      ///< bench_planner runs
 
   /// Appends one aggregate row per suite cell for `results`; call once per
   /// method when a run covers several.

@@ -129,9 +129,12 @@ DistanceField DistanceField::from_raster(
 void DistanceField::build_edt(const std::vector<std::uint8_t>& occupied) {
   const std::size_t cells = static_cast<std::size_t>(width_) * height_;
   distance_.assign(cells, static_cast<float>(geom::kMaxClearance));
-  any_occupied_ = false;
+  occupied_.assign(cells, 0);
   for (std::size_t i = 0; i < cells && i < occupied.size(); ++i)
-    if (occupied[i] != 0) {
+    occupied_[i] = occupied[i] != 0 ? 1 : 0;
+  any_occupied_ = false;
+  for (std::size_t i = 0; i < cells; ++i)
+    if (occupied_[i] != 0) {
       any_occupied_ = true;
       break;
     }

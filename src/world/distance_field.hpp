@@ -73,6 +73,15 @@ class DistanceField {
     return distance_[static_cast<std::size_t>(iy) * width_ + ix];
   }
 
+  /// The occupancy raster the EDT was built from (dilated per the
+  /// conservativeness contract). Precondition as cell_distance.
+  bool cell_occupied(int ix, int iy) const {
+    return occupied_[static_cast<std::size_t>(iy) * width_ + ix] != 0;
+  }
+  /// Row-major occupancy raster, one byte per cell (grid consumers — e.g.
+  /// the planner's Dijkstra cost-to-go — sweep it directly).
+  const std::vector<std::uint8_t>& occupancy() const { return occupied_; }
+
   /// Conservative clearance from point `p` to the static set: a lower
   /// bound on the true distance, 0 when `p` may touch an obstacle. Points
   /// outside the grid return 0 ("unknown" — callers fall back).
@@ -119,6 +128,7 @@ class DistanceField {
   double slack_ = 0.0;
   geom::Vec2 origin_;           ///< world position of the raster corner
   bool any_occupied_ = false;
+  std::vector<std::uint8_t> occupied_;  ///< dilated raster, row-major
   std::vector<float> distance_;  ///< EDT at cell centres [m], row-major
 };
 
