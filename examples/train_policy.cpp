@@ -18,6 +18,7 @@
 
 #include "il/action.hpp"
 #include "il/trainer.hpp"
+#include "mission/mission.hpp"
 #include "sim/curriculum.hpp"
 #include "sim/expert.hpp"
 #include "sim/policy_store.hpp"
@@ -41,6 +42,10 @@ int parse_positive_int(const char* arg, const char* what) {
 int main(int argc, char** argv) {
   using namespace icoil;
 
+  // Let curricula reference mission templates ("mission:quiet_lot" cells):
+  // the expander turns each mission leg into a recordable static scenario.
+  mission::install_curriculum_expander();
+
   sim::PolicyStoreOptions options = sim::default_policy_options();
   std::string curriculum_spec = "canonical";
   int positional = 0;
@@ -59,7 +64,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: train_policy [--curriculum all|canonical|g1,g2,...] "
-          "[--bev N] [epochs] [expert-episodes]\n");
+          "[--bev N] [epochs] [expert-episodes]\n"
+          "  curriculum cells may also name mission templates, e.g. "
+          "mission:quiet_lot\n");
       return 0;
     } else if (positional == 0) {
       options.train.epochs = parse_positive_int(argv[i], "epoch count");

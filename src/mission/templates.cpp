@@ -1,0 +1,152 @@
+// Built-in mission templates. All three run on the multi_row_lot family and
+// its fixed geometry (48x36, goal column at x = 25.5 for the default and
+// rush-hour bay counts): the traffic routes below reference those aisle
+// coordinates directly. The loop rectangle circulates cruisers through both
+// aisles and the bay-free side corridors; pedestrians cross the bottom
+// aisle near the goal column, triggered by the ego approaching.
+//
+//   quiet_lot      light traffic, no contention — the baseline mission
+//   contested_lot  a rival steals the ego's claimed bay (forced replan) and
+//                  a second cruiser parks opportunistically
+//   rush_hour      dense lot, three cruisers, two crossings
+
+#include "core/controller_registry.hpp"
+#include "mission/mission.hpp"
+#include "sim/curriculum.hpp"
+
+namespace icoil::mission {
+namespace {
+
+/// Two-aisle circulation loop shared by every built-in cruiser: bottom
+/// aisle eastbound, top aisle westbound, side corridors connecting them.
+std::vector<geom::Vec2> circulation_loop() {
+  return {{5.0, 10.9}, {43.0, 10.9}, {43.0, 25.9}, {5.0, 25.9}};
+}
+
+TrafficAgentSpec cruiser(const std::string& name, double speed,
+                         double start_offset) {
+  TrafficAgentSpec a;
+  a.kind = TrafficAgentSpec::Kind::kCruiser;
+  a.name = name;
+  a.speed = speed;
+  a.route = circulation_loop();
+  a.start_offset = start_offset;
+  return a;
+}
+
+/// Pedestrian crossing the bottom aisle at `x`, triggered by the ego
+/// entering the aisle stretch around the goal column.
+TrafficAgentSpec crossing(const std::string& name, double x,
+                          double cooldown) {
+  TrafficAgentSpec a;
+  a.kind = TrafficAgentSpec::Kind::kPedestrian;
+  a.name = name;
+  a.speed = 0.7;
+  a.half_length = 0.35;
+  a.half_width = 0.35;
+  a.route = {{x, 5.8}, {x, 12.2}};
+  a.trigger = {{x - 9.0, 5.5}, {x + 2.0, 12.5}};
+  a.cooldown_seconds = cooldown;
+  return a;
+}
+
+MissionSpec quiet_lot() {
+  MissionSpec m;
+  m.name = "quiet_lot";
+  m.description =
+      "multi_row_lot at 0.45 occupancy; one circulating cruiser and one "
+      "pedestrian crossing, no bay contention";
+  m.params.set("occupancy", 0.45);
+  m.traffic.agents = {cruiser("cruiser_a", 1.2, 60.0),
+                      crossing("ped_goal", 30.0, 18.0)};
+  m.dwell_seconds = 3.0;
+  m.leg_time_limit = 40.0;
+  m.max_replans = 3;
+  return m;
+}
+
+MissionSpec contested_lot() {
+  MissionSpec m;
+  m.name = "contested_lot";
+  m.description =
+      "multi_row_lot at 0.55 occupancy; a rival steals the ego's claimed "
+      "bay (forced replan), a second cruiser parks opportunistically";
+  m.params.set("occupancy", 0.55);
+
+  TrafficAgentSpec rival = cruiser("rival", 1.3, 45.0);
+  rival.rival = true;
+  rival.dwell_seconds = 1e9;  // the stolen bay stays taken
+
+  TrafficAgentSpec opportunist = cruiser("opportunist", 1.2, 85.0);
+  opportunist.bay_claim_prob = 0.5;
+  opportunist.dwell_seconds = 12.0;
+  opportunist.cooldown_seconds = 25.0;
+
+  m.traffic.agents = {rival, opportunist, crossing("ped_goal", 30.0, 18.0)};
+  // Armed from t=2s; actually fires the moment the ego first claims a bay.
+  m.traffic.rival_claim_time = 2.0;
+  m.dwell_seconds = 3.0;
+  m.leg_time_limit = 45.0;
+  m.max_replans = 4;
+  return m;
+}
+
+MissionSpec rush_hour() {
+  MissionSpec m;
+  m.name = "rush_hour";
+  m.description =
+      "dense multi_row_lot (10 bays/row, 0.7 occupancy); three cruisers, "
+      "one parking opportunistically, two pedestrian crossings";
+  m.params.set("bays_per_row", 10);
+  m.params.set("occupancy", 0.7);
+
+  TrafficAgentSpec parker = cruiser("parker", 1.2, 20.0);
+  parker.bay_claim_prob = 0.4;
+  parker.dwell_seconds = 10.0;
+  parker.cooldown_seconds = 30.0;
+
+  m.traffic.agents = {parker, cruiser("cruiser_b", 1.3, 55.0),
+                      cruiser("cruiser_c", 1.4, 90.0),
+                      crossing("ped_goal", 30.0, 15.0),
+                      crossing("ped_west", 16.0, 20.0)};
+  m.dwell_seconds = 2.0;
+  m.leg_time_limit = 50.0;
+  m.max_replans = 4;
+  return m;
+}
+
+}  // namespace
+
+namespace detail {
+void register_builtin_missions(MissionRegistry& registry) {
+  registry.add(quiet_lot());
+  registry.add(contested_lot());
+  registry.add(rush_hour());
+}
+}  // namespace detail
+
+void install_curriculum_expander() {
+  sim::set_mission_leg_expander(
+      [](const std::string& name, std::uint64_t seed) {
+        const MissionSpec& spec = MissionRegistry::instance().at(name);
+        Mission mission(spec, seed);
+        const auto controller =
+            core::ControllerRegistry::instance().build("co");
+        mission.run(*controller);
+
+        // Freeze the traffic where each leg opened: driven obstacles become
+        // plain statics, so the recorder's planner treats the snapshot as a
+        // (harder, contested) static scene.
+        std::vector<world::Scenario> legs = mission.leg_scenarios();
+        for (world::Scenario& sc : legs) {
+          for (world::Obstacle& o : sc.obstacles) {
+            o.driven = false;
+            o.motion = {};
+          }
+          sc.generator = "mission:" + name;
+        }
+        return legs;
+      });
+}
+
+}  // namespace icoil::mission

@@ -1,0 +1,389 @@
+#include "mission/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "geom/angles.hpp"
+#include "mathkit/fnv.hpp"
+
+namespace icoil::mission {
+namespace {
+
+/// Speed used for pull-in / pull-out maneuvers, independent of cruise speed.
+constexpr double kManeuverSpeed = 1.1;
+/// A cruiser considers claiming a bay once within this distance of its
+/// staging point.
+constexpr double kClaimRadius = 1.5;
+/// Yield box in the cruiser's local frame: ego near this rectangle stops
+/// the cruiser (simple right-of-way, keeps head-on aisle meetings from
+/// becoming unavoidable collisions). The box tests the ego's CENTER, so it
+/// must be padded by the worst-case ego half-footprint (~2.6 m): a car
+/// nosing out of a staging point reaches into the lane while its center is
+/// still ~4 m off it. The window also reaches back past the cruiser's rear
+/// bumper: an ego dropping into the lane BESIDE the cruiser must keep it
+/// braked too, or the cruiser advances into the ego's flank.
+constexpr double kYieldBehind = -3.5;
+constexpr double kYieldAhead = 8.0;
+constexpr double kYieldHalfWidth = 4.5;
+/// A parked cruiser will not pull out while the ego is this close.
+constexpr double kPulloutEgoClearance = 8.0;
+/// A mid-maneuver (pull-in / pull-out) cruiser freezes while the ego is this
+/// close: a paused agent is a quasi-static obstacle the ego's planner routes
+/// around, whereas two simultaneous maneuvers in one aisle section are not
+/// resolvable by either side. The ego never waits on traffic, so freezing
+/// cannot deadlock the mission.
+constexpr double kManeuverPauseRadius = 4.5;
+/// A crossing pedestrian pauses while the ego is this close. Must exceed the
+/// ego's worst-case center-to-corner reach (~2.6 m) plus walking stride, or
+/// the pedestrian steps into the bumper it was supposed to be yielding to.
+constexpr double kPedPauseRadius = 4.5;
+
+/// Ledger owner id of agent `i` (positive; 0 is the ego).
+int agent_owner(std::size_t i) { return static_cast<int>(i) + 1; }
+
+}  // namespace
+
+TrafficSimulator::TrafficSimulator(TrafficScript script,
+                                   const world::ParkingLotMap& map,
+                                   std::uint64_t seed)
+    : script_(std::move(script)), map_(&map), ledger_(map.bays.size()) {
+  agents_.reserve(script_.agents.size());
+  for (std::size_t i = 0; i < script_.agents.size(); ++i) {
+    // Index-salted seeds: each agent owns an independent stream, so adding
+    // or reordering agents in a template never silently reshuffles another
+    // agent's dice.
+    Agent a(script_.agents[i], seed ^ (0x9E3779B97F4A7C15ull * (i + 1)));
+    if (a.spec.kind == TrafficAgentSpec::Kind::kCruiser) {
+      a.route_len = 0.0;
+      const auto& r = a.spec.route;
+      for (std::size_t k = 0; k < r.size(); ++k)
+        a.route_len += geom::distance(r[k], r[(k + 1) % r.size()]);
+      a.phase = Phase::kCruise;
+      a.arc = std::fmod(a.spec.start_offset, std::max(a.route_len, 1e-9));
+      a.pose = loop_pose(a, a.arc);
+    } else {
+      a.phase = Phase::kWait;
+      a.cross_dir = 0;
+      const geom::Vec2 from = a.spec.route[0];
+      const geom::Vec2 to = a.spec.route[1];
+      a.pose = {from, (to - from).angle()};
+    }
+    agents_.push_back(std::move(a));
+  }
+}
+
+geom::Pose2 TrafficSimulator::bay_staging_pose(const world::ParkingLotMap& map,
+                                               std::size_t bay) {
+  const geom::Obb& b = map.bays[bay];
+  const geom::Vec2 dir{std::cos(b.heading), std::sin(b.heading)};
+  // Nose pointing away from the bay: reversing straight from here reaches
+  // ParkingLotMap::bay_parked_pose without a heading change.
+  return {b.center + dir * (b.half_length + 2.2), b.heading};
+}
+
+geom::Pose2 TrafficSimulator::loop_pose(const Agent& a, double arc) const {
+  const auto& r = a.spec.route;
+  double s = std::fmod(arc, std::max(a.route_len, 1e-9));
+  if (s < 0.0) s += a.route_len;
+  for (std::size_t k = 0; k < r.size(); ++k) {
+    const geom::Vec2 from = r[k];
+    const geom::Vec2 to = r[(k + 1) % r.size()];
+    const double len = geom::distance(from, to);
+    if (s <= len || k + 1 == r.size()) {
+      const double u = len > 1e-9 ? std::min(s / len, 1.0) : 0.0;
+      return {geom::lerp(from, to, u), (to - from).angle()};
+    }
+    s -= len;
+  }
+  return {r[0], 0.0};
+}
+
+double TrafficSimulator::nearest_arc(const Agent& a,
+                                     const geom::Vec2& p) const {
+  const auto& r = a.spec.route;
+  double best_d = std::numeric_limits<double>::max();
+  double best_arc = 0.0;
+  double base = 0.0;
+  for (std::size_t k = 0; k < r.size(); ++k) {
+    const geom::Vec2 from = r[k];
+    const geom::Vec2 to = r[(k + 1) % r.size()];
+    const geom::Vec2 seg = to - from;
+    const double len2 = seg.norm_sq();
+    const double t =
+        len2 > 1e-12 ? std::clamp((p - from).dot(seg) / len2, 0.0, 1.0) : 0.0;
+    const geom::Vec2 q = geom::lerp(from, to, t);
+    const double d = geom::distance(p, q);
+    if (d < best_d) {
+      best_d = d;
+      best_arc = base + t * std::sqrt(len2);
+    }
+    base += std::sqrt(len2);
+  }
+  return best_arc;
+}
+
+void TrafficSimulator::begin_maneuver(Agent& a, std::vector<geom::Pose2> poses,
+                                      double speed) {
+  a.path = std::move(poses);
+  a.path_t.assign(a.path.size(), 0.0);
+  for (std::size_t k = 1; k < a.path.size(); ++k) {
+    const double d =
+        geom::distance(a.path[k - 1].position, a.path[k].position);
+    a.path_t[k] = a.path_t[k - 1] + std::max(d / speed, 1e-6);
+  }
+  a.path_clock = 0.0;
+}
+
+bool TrafficSimulator::step_maneuver(Agent& a, double dt) {
+  a.path_clock += dt;
+  if (a.path_clock >= a.path_t.back()) {
+    a.pose = a.path.back();
+    a.velocity = {};
+    return true;
+  }
+  std::size_t k = 1;
+  while (a.path_clock >= a.path_t[k]) ++k;
+  const double span = a.path_t[k] - a.path_t[k - 1];
+  const double u = (a.path_clock - a.path_t[k - 1]) / span;
+  a.pose = {geom::lerp(a.path[k - 1].position, a.path[k].position, u),
+            geom::slerp_angle(a.path[k - 1].heading, a.path[k].heading, u)};
+  a.velocity = (a.path[k].position - a.path[k - 1].position) / span;
+  return false;
+}
+
+void TrafficSimulator::step_cruiser(Agent& a, world::World& world, double dt) {
+  const std::size_t self =
+      static_cast<std::size_t>(&a - agents_.data());
+  a.cooldown = std::max(0.0, a.cooldown - dt);
+
+  switch (a.phase) {
+    case Phase::kCruise: {
+      // Rival steal: one-shot, time-triggered, only while the ego holds a
+      // claim and is not already inside the bay (no stealing from under a
+      // parked ego — the contest is for the approach, not an eviction).
+      if (a.spec.rival && !rival_fired_ && script_.rival_claim_time >= 0.0 &&
+          world.time() >= script_.rival_claim_time) {
+        for (std::size_t b = 0; b < ledger_.size(); ++b) {
+          if (ledger_.owner_of(b) != BayLedger::kEgoOwner) continue;
+          if (world.bay_occupied(b)) continue;
+          if (have_ego_ && map_->bays[b].contains(ego_.position)) continue;
+          ledger_.steal(b, agent_owner(self));
+          rival_fired_ = true;
+          a.bay = static_cast<int>(b);
+          const geom::Pose2 staging = bay_staging_pose(*map_, b);
+          a.return_arc = nearest_arc(a, staging.position);
+          begin_maneuver(a, {a.pose, staging, map_->bay_parked_pose(b)},
+                         kManeuverSpeed);
+          a.phase = Phase::kPullIn;
+          return;
+        }
+      }
+
+      double v = a.spec.speed;
+      if (have_ego_) {
+        const geom::Vec2 local =
+            (ego_.position - a.pose.position).rotated(-a.pose.heading);
+        if (local.x > kYieldBehind && local.x < kYieldAhead &&
+            std::abs(local.y) < kYieldHalfWidth)
+          v = 0.0;
+      }
+      a.arc = std::fmod(a.arc + v * dt, a.route_len);
+      const geom::Pose2 p = loop_pose(a, a.arc);
+      a.pose = p;
+      a.velocity = geom::Vec2{std::cos(p.heading), std::sin(p.heading)} * v;
+
+      if (a.spec.bay_claim_prob > 0.0 && a.cooldown <= 0.0) {
+        int candidate = -1;
+        for (std::size_t b = 0; b < ledger_.size(); ++b) {
+          if (geom::distance(a.pose.position,
+                             bay_staging_pose(*map_, b).position) <
+              kClaimRadius) {
+            candidate = static_cast<int>(b);
+            break;
+          }
+        }
+        // One dice roll per bay approach, not per frame: re-rolling at
+        // 20 Hz would turn any claim_prob into near-certainty.
+        if (candidate != a.considered_bay) {
+          a.considered_bay = candidate;
+          if (candidate >= 0) {
+            const auto b = static_cast<std::size_t>(candidate);
+            // Don't start a pull-in next to the ego: two simultaneous
+            // maneuvers in one aisle section end badly (same rationale as
+            // the pull-out clearance).
+            const bool ego_clear =
+                !have_ego_ ||
+                geom::distance(ego_.position,
+                               bay_staging_pose(*map_, b).position) >
+                    kPulloutEgoClearance;
+            if (ego_clear && ledger_.is_free(b) && !world.bay_occupied(b) &&
+                a.rng.bernoulli(a.spec.bay_claim_prob)) {
+              ledger_.claim(b, agent_owner(self));
+              a.bay = candidate;
+              const geom::Pose2 staging = bay_staging_pose(*map_, b);
+              a.return_arc = nearest_arc(a, staging.position);
+              begin_maneuver(a, {a.pose, staging, map_->bay_parked_pose(b)},
+                             kManeuverSpeed);
+              a.phase = Phase::kPullIn;
+            }
+          }
+        }
+      }
+      break;
+    }
+    case Phase::kPullIn:
+      if (have_ego_ && geom::distance(ego_.position, a.pose.position) <
+                           kManeuverPauseRadius) {
+        a.velocity = {};
+        break;
+      }
+      if (step_maneuver(a, dt)) {
+        a.phase = Phase::kParked;
+        a.timer = a.spec.dwell_seconds;
+      }
+      break;
+    case Phase::kParked:
+      a.timer -= dt;
+      if (a.timer <= 0.0 &&
+          (!have_ego_ ||
+           geom::distance(ego_.position, a.pose.position) >
+               kPulloutEgoClearance)) {
+        const auto b = static_cast<std::size_t>(a.bay);
+        begin_maneuver(a,
+                       {a.pose, bay_staging_pose(*map_, b),
+                        loop_pose(a, a.return_arc)},
+                       kManeuverSpeed);
+        a.phase = Phase::kPullOut;
+      }
+      break;
+    case Phase::kPullOut:
+      if (have_ego_ && geom::distance(ego_.position, a.pose.position) <
+                           kManeuverPauseRadius) {
+        a.velocity = {};
+        break;
+      }
+      if (step_maneuver(a, dt)) {
+        ledger_.release(static_cast<std::size_t>(a.bay), agent_owner(self));
+        a.bay = -1;
+        a.considered_bay = -1;
+        a.cooldown = a.spec.cooldown_seconds;
+        a.arc = a.return_arc;
+        a.phase = Phase::kCruise;
+      }
+      break;
+    case Phase::kWait:
+    case Phase::kCross:
+      break;  // pedestrian phases, unreachable for cruisers
+  }
+}
+
+void TrafficSimulator::step_pedestrian(Agent& a, double dt) {
+  a.cooldown = std::max(0.0, a.cooldown - dt);
+  switch (a.phase) {
+    case Phase::kWait:
+      if (have_ego_ && a.cooldown <= 0.0 &&
+          a.spec.trigger.contains(ego_.position))
+        a.phase = Phase::kCross;
+      break;
+    case Phase::kCross: {
+      const geom::Vec2 target = a.spec.route[1 - a.cross_dir];
+      if (have_ego_ &&
+          geom::distance(ego_.position, a.pose.position) < kPedPauseRadius) {
+        a.velocity = {};
+        break;
+      }
+      const geom::Vec2 delta = target - a.pose.position;
+      const double dist = delta.norm();
+      const double stride = a.spec.speed * dt;
+      if (dist <= stride) {
+        a.pose.position = target;
+        a.velocity = {};
+        a.cross_dir = 1 - a.cross_dir;
+        a.cooldown = a.spec.cooldown_seconds;
+        a.phase = Phase::kWait;
+      } else {
+        const geom::Vec2 dir = delta / dist;
+        a.pose = {a.pose.position + dir * stride, dir.angle()};
+        a.velocity = dir * a.spec.speed;
+      }
+      break;
+    }
+    default:
+      break;  // cruiser phases, unreachable for pedestrians
+  }
+}
+
+std::vector<world::Obstacle> TrafficSimulator::roster(int first_id) const {
+  std::vector<world::Obstacle> out;
+  out.reserve(agents_.size());
+  for (const Agent& a : agents_) {
+    world::Obstacle o;
+    o.id = first_id++;
+    o.name = "traffic_" + a.spec.name;
+    o.shape = geom::Obb{a.pose.position, a.pose.heading, a.spec.half_length,
+                        a.spec.half_width};
+    o.driven = true;
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+void TrafficSimulator::attach(world::World& world) {
+  obstacle_index_.assign(agents_.size(), 0);
+  const auto& obstacles = world.scenario().obstacles;
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    const std::string wanted = "traffic_" + agents_[i].spec.name;
+    bool found = false;
+    for (std::size_t j = 0; j < obstacles.size(); ++j) {
+      if (obstacles[j].name == wanted) {
+        obstacle_index_[i] = j;
+        found = true;
+        break;
+      }
+    }
+    if (!found)
+      throw std::logic_error("TrafficSimulator::attach: scenario has no \"" +
+                             wanted + "\" obstacle (roster not appended?)");
+  }
+  world.set_driver(this);
+}
+
+void TrafficSimulator::step(world::World& world, double dt) {
+  if (dt > 0.0) {
+    for (Agent& a : agents_) {
+      if (a.spec.kind == TrafficAgentSpec::Kind::kCruiser)
+        step_cruiser(a, world, dt);
+      else
+        step_pedestrian(a, dt);
+    }
+  }
+  if (obstacle_index_.size() == agents_.size()) {
+    for (std::size_t i = 0; i < agents_.size(); ++i)
+      world.drive_obstacle(obstacle_index_[i], agents_[i].pose,
+                           agents_[i].velocity);
+  }
+}
+
+std::uint64_t TrafficSimulator::state_fingerprint() const {
+  math::Fnv1a h;
+  for (const Agent& a : agents_) {
+    h.add_string(a.spec.name);
+    h.add_int(static_cast<std::int64_t>(a.phase));
+    h.add_double(a.pose.x());
+    h.add_double(a.pose.y());
+    h.add_double(a.pose.heading);
+    h.add_double(a.velocity.x);
+    h.add_double(a.velocity.y);
+    h.add_double(a.arc);
+    h.add_int(a.bay);
+    h.add_double(a.timer);
+    h.add_double(a.cooldown);
+  }
+  for (std::size_t b = 0; b < ledger_.size(); ++b) h.add_int(ledger_.owner_of(b));
+  h.add_int(rival_fired_ ? 1 : 0);
+  return h.value();
+}
+
+}  // namespace icoil::mission

@@ -21,8 +21,22 @@ world::ScenarioOptions CurriculumEntry::options() const {
 }
 
 std::string CurriculumEntry::label() const {
+  if (!mission.empty()) return "mission:" + mission;
   return generator + "/" + world::to_string(difficulty);
 }
+
+namespace {
+MissionLegExpander& expander_slot() {
+  static MissionLegExpander expander;
+  return expander;
+}
+}  // namespace
+
+void set_mission_leg_expander(MissionLegExpander expander) {
+  expander_slot() = std::move(expander);
+}
+
+const MissionLegExpander& mission_leg_expander() { return expander_slot(); }
 
 std::vector<int> Curriculum::episode_counts(int episodes) const {
   std::vector<int> counts(entries.size(), 0);
@@ -105,6 +119,12 @@ std::uint64_t Curriculum::fingerprint() const {
     h.add_int(e.num_obstacles_override);
     h.add_double(e.time_limit);
     h.add_double(e.weight);
+    // Hashed only when set, so every pre-mission curriculum keeps its
+    // fingerprint (and its cached datasets/policies) unchanged.
+    if (!e.mission.empty()) {
+      h.add_string("mission");
+      h.add_string(e.mission);
+    }
   }
   return h.value();
 }
@@ -155,8 +175,24 @@ Curriculum Curriculum::parse(const std::string& spec) {
   }
   if (names.empty())
     throw std::invalid_argument("Curriculum: empty spec \"" + spec + "\"");
-  Curriculum c = for_generators(names);
+
+  static const std::string kMissionPrefix = "mission:";
+  Curriculum c;
   c.name = spec;
+  for (const std::string& token : names) {
+    if (token.rfind(kMissionPrefix, 0) == 0) {
+      const std::string mission = token.substr(kMissionPrefix.size());
+      if (mission.empty())
+        throw std::invalid_argument("Curriculum: empty mission name in \"" +
+                                    spec + "\"");
+      CurriculumEntry e;
+      e.mission = mission;
+      c.entries.push_back(std::move(e));
+    } else {
+      // Reuse the generator-name validation (and its error message).
+      c.entries.push_back(for_generators({token}).entries.front());
+    }
+  }
   return c;
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -19,12 +20,33 @@ struct CurriculumEntry {
   int num_obstacles_override = -1;  ///< -1 = level default
   double time_limit = 60.0;
   double weight = 1.0;  ///< episode share (relative to the sum of weights)
+  /// When non-empty this cell references a mission template instead of a
+  /// generator: each episode expands (via the installed mission-leg
+  /// expander) into the driving-leg scenarios of one mission run, so the
+  /// recorder collects demonstrations from contested multi-leg traffic
+  /// instead of single spawn-to-bay episodes. The other scenario fields are
+  /// ignored for mission cells.
+  std::string mission;
 
-  /// The ScenarioOptions this entry expands to.
+  /// The ScenarioOptions this entry expands to (generator cells only).
   world::ScenarioOptions options() const;
-  /// "generator/difficulty" display label.
+  /// "generator/difficulty" (or "mission:<name>") display label.
   std::string label() const;
 };
+
+/// Expands a mission template name + seed into per-leg recording scenarios
+/// (statics + traffic frozen at each leg start, goal set to the leg goal).
+/// Lives behind a hook so the sim layer never depends on mission:: —
+/// mission::install_curriculum_expander() provides the implementation.
+using MissionLegExpander = std::function<std::vector<world::Scenario>(
+    const std::string& mission, std::uint64_t seed)>;
+
+/// Install / read the process-wide mission-leg expander. Set once at
+/// startup, before any recording begins; the recorder throws a
+/// std::logic_error naming the installer when a mission cell is hit with no
+/// expander installed.
+void set_mission_leg_expander(MissionLegExpander expander);
+const MissionLegExpander& mission_leg_expander();
 
 /// A training curriculum: the list of weighted scenario cells the expert
 /// recorder draws demonstration episodes from. Episode->entry assignment is
@@ -65,7 +87,10 @@ class Curriculum {
   static Curriculum for_generators(const std::vector<std::string>& generators);
 
   /// Parse a CLI-style spec: "all", "canonical", or a comma-separated list
-  /// of generator names ("crowded_lot,parallel_street"). Throws
+  /// of generator names and/or "mission:<template>" tokens
+  /// ("crowded_lot,mission:contested_lot"). Generator names are validated
+  /// against the registry; mission names are validated lazily by the
+  /// expander (the sim layer cannot see the mission registry). Throws
   /// std::invalid_argument on an unknown generator name.
   static Curriculum parse(const std::string& spec);
 };

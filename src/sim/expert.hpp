@@ -62,6 +62,10 @@ class ExpertRecorder {
  private:
   void record_episode(int ep, const CurriculumEntry& entry,
                       il::Dataset& dataset, ExpertStats& stats) const;
+  /// Rolls the CO expert through one concrete scenario, recording samples.
+  /// Generator episodes call it once; mission episodes call it per leg.
+  void record_scenario(const world::Scenario& scenario, std::uint64_t seed,
+                       il::Dataset& dataset, ExpertStats& stats) const;
 
   ExpertConfig config_;
   il::IlPolicyConfig policy_config_;

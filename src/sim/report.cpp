@@ -624,6 +624,34 @@ std::string RunReport::to_json() const {
         row.field("verdicts_match") += r.verdicts_match ? "true" : "false";
       }
     }
+    if (mission.has_value()) {
+      JsonScope ms(doc.field("mission"), '{', '}');
+      ms.field("version") += std::to_string(kMissionStatsVersion);
+      JsonScope rows(ms.field("rows"), '[', ']');
+      for (const MissionTemplateRow& r : mission->rows) {
+        JsonScope row(rows.element(), '{', '}');
+        append_string(row.field("mission"), r.mission);
+        append_string(row.field("method"), r.method);
+        row.field("missions") += std::to_string(r.missions);
+        row.field("succeeded") += std::to_string(r.succeeded);
+        row.field("success_ratio") += fmt_double(r.success_ratio);
+        row.field("legs") += std::to_string(r.legs);
+        row.field("legs_per_mission") += fmt_double(r.legs_per_mission);
+        row.field("replans") += std::to_string(r.replans);
+        row.field("replans_per_mission") += fmt_double(r.replans_per_mission);
+        row.field("collisions") += std::to_string(r.collisions);
+        row.field("timeouts") += std::to_string(r.timeouts);
+        row.field("park_time_p50") += fmt_double(r.park_time_p50);
+        row.field("park_time_p95") += fmt_double(r.park_time_p95);
+        row.field("exit_time_p50") += fmt_double(r.exit_time_p50);
+        row.field("exit_time_p95") += fmt_double(r.exit_time_p95);
+        row.field("wall_seconds_mean") += fmt_double(r.wall_seconds_mean);
+        append_string(row.field("spec_fingerprint"),
+                      fmt_hex64(r.spec_fingerprint));
+        append_string(row.field("result_fingerprint"),
+                      fmt_hex64(r.result_fingerprint));
+      }
+    }
     if (planner.has_value()) {
       JsonScope pl(doc.field("planner"), '{', '}');
       pl.field("version") += std::to_string(kPlannerStatsVersion);
@@ -804,6 +832,38 @@ bool RunReport::parse(const std::string& json, RunReport* out,
     }
     report.collision = stats;
   }
+  if (const JsonValue* ms = root.find("mission");
+      ms != nullptr && ms->kind == JsonValue::Kind::kObject) {
+    MissionStats stats;
+    stats.version = get_int(*ms, "version", 1);
+    if (const JsonValue* rows = ms->find("rows");
+        rows != nullptr && rows->kind == JsonValue::Kind::kArray) {
+      for (const JsonValue& r : rows->array) {
+        if (r.kind != JsonValue::Kind::kObject) continue;
+        MissionTemplateRow row;
+        row.mission = get_string(r, "mission");
+        row.method = get_string(r, "method");
+        row.missions = get_int(r, "missions");
+        row.succeeded = get_int(r, "succeeded");
+        row.success_ratio = get_number(r, "success_ratio");
+        row.legs = get_int(r, "legs");
+        row.legs_per_mission = get_number(r, "legs_per_mission");
+        row.replans = get_int(r, "replans");
+        row.replans_per_mission = get_number(r, "replans_per_mission");
+        row.collisions = get_int(r, "collisions");
+        row.timeouts = get_int(r, "timeouts");
+        row.park_time_p50 = get_number(r, "park_time_p50");
+        row.park_time_p95 = get_number(r, "park_time_p95");
+        row.exit_time_p50 = get_number(r, "exit_time_p50");
+        row.exit_time_p95 = get_number(r, "exit_time_p95");
+        row.wall_seconds_mean = get_number(r, "wall_seconds_mean");
+        row.spec_fingerprint = get_hex64(r, "spec_fingerprint");
+        row.result_fingerprint = get_hex64(r, "result_fingerprint");
+        stats.rows.push_back(row);
+      }
+    }
+    report.mission = stats;
+  }
   if (const JsonValue* pl = root.find("planner");
       pl != nullptr && pl->kind == JsonValue::Kind::kObject) {
     PlannerStats stats;
@@ -950,6 +1010,50 @@ BaselineVerdict compare_to_baseline(const RunReport& current,
     if (!known)
       verdict.notes.push_back(cur.method + " / " + cur.label +
                               ": new cell (not in baseline)");
+  }
+
+  // Mission rows (matched on template + method). A spec-fingerprint mismatch
+  // means the template itself changed since the baseline was recorded: the
+  // numbers are not comparable, so it is flagged as a note and the row is
+  // skipped rather than failed.
+  if (baseline.mission.has_value()) {
+    const std::vector<MissionTemplateRow> empty;
+    const std::vector<MissionTemplateRow>& cur_rows =
+        current.mission.has_value() ? current.mission->rows : empty;
+    for (const MissionTemplateRow& base : baseline.mission->rows) {
+      const MissionTemplateRow* cur = nullptr;
+      for (const MissionTemplateRow& c : cur_rows)
+        if (c.mission == base.mission && c.method == base.method) cur = &c;
+      const std::string id = base.method + " / mission:" + base.mission;
+      if (cur == nullptr) {
+        verdict.failures.push_back(id + ": mission row missing from current run");
+        continue;
+      }
+      if (cur->spec_fingerprint != base.spec_fingerprint) {
+        verdict.notes.push_back(
+            id + ": template fingerprint changed — baseline not comparable, "
+                 "re-record it");
+        continue;
+      }
+      const double drop = base.success_ratio - cur->success_ratio;
+      if (drop > tolerance.mission_success_drop + 1e-12) {
+        std::ostringstream why;
+        why << id << ": mission success ratio " << cur->success_ratio
+            << " vs baseline " << base.success_ratio << " (drop " << drop
+            << " > tol " << tolerance.mission_success_drop << ")";
+        verdict.failures.push_back(why.str());
+      }
+      const double replan_delta =
+          std::abs(cur->replans_per_mission - base.replans_per_mission);
+      if (replan_delta > tolerance.mission_replan_delta + 1e-12) {
+        std::ostringstream why;
+        why << id << ": replans per mission " << cur->replans_per_mission
+            << " vs baseline " << base.replans_per_mission << " (|delta| "
+            << replan_delta << " > tol " << tolerance.mission_replan_delta
+            << ")";
+        verdict.failures.push_back(why.str());
+      }
+    }
   }
 
   verdict.ok = verdict.failures.empty();

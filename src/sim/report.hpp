@@ -12,7 +12,10 @@ namespace icoil::sim {
 
 /// Schema version written into every report; the loader rejects documents
 /// from the future and fills defaults for fields added since an old one.
-inline constexpr int kRunReportSchemaVersion = 1;
+/// v1: meta + cells + optional serve/collision/planner blocks.
+/// v2: adds the optional `mission` block (bench_mission); v1 documents
+///     still load — they simply have no mission stats.
+inline constexpr int kRunReportSchemaVersion = 2;
 
 /// Escapes `"` `\` and control characters for embedding in a JSON string
 /// literal (the one escaping routine every JSON we emit goes through).
@@ -182,6 +185,43 @@ struct CollisionStats {
   std::vector<CollisionDensityRow> rows;  ///< density ascending
 };
 
+/// Version of the `mission` block inside a report.
+inline constexpr int kMissionStatsVersion = 1;
+
+/// One (mission template, method) aggregate row of a bench_mission run:
+/// multi-leg mission outcomes over a fixed seed set. The fingerprints make
+/// rows self-describing: `spec_fingerprint` identifies the template revision
+/// the numbers were measured on (baselines refuse to compare across template
+/// edits), `result_fingerprint` digests every per-mission result fingerprint
+/// in seed order — two runs of the same build, seeds and template produce
+/// the same value regardless of thread count.
+struct MissionTemplateRow {
+  std::string mission;               ///< template name (quiet_lot, ...)
+  std::string method;                ///< controller registry key
+  int missions = 0;                  ///< missions attempted
+  int succeeded = 0;                 ///< full enter->park->exit successes
+  double success_ratio = 0.0;
+  int legs = 0;                      ///< total legs opened (incl. aborted)
+  double legs_per_mission = 0.0;
+  int replans = 0;                   ///< bay-contention retargets
+  double replans_per_mission = 0.0;
+  int collisions = 0;                ///< legs ended by a collision
+  int timeouts = 0;                  ///< legs ended by the leg time limit
+  double park_time_p50 = 0.0;        ///< mission seconds to end of kPark
+  double park_time_p95 = 0.0;        ///< (successful missions only)
+  double exit_time_p50 = 0.0;        ///< mission seconds to end of kExit
+  double exit_time_p95 = 0.0;
+  double wall_seconds_mean = 0.0;    ///< mean wall clock per mission
+  std::uint64_t spec_fingerprint = 0;    ///< mission::MissionSpec digest
+  std::uint64_t result_fingerprint = 0;  ///< FNV over per-mission results
+};
+
+/// Mission-benchmark metrics of one bench_mission run.
+struct MissionStats {
+  int version = kMissionStatsVersion;
+  std::vector<MissionTemplateRow> rows;  ///< template-major, method-minor
+};
+
 inline constexpr int kPlannerStatsVersion = 1;
 
 /// One (family, density, heuristic-mode) cell of the planner ablation
@@ -222,6 +262,7 @@ struct RunReport {
   std::optional<ServeStats> serve;   ///< present for bench_serve runs
   std::optional<CollisionStats> collision;  ///< bench_collision runs
   std::optional<PlannerStats> planner;      ///< bench_planner runs
+  std::optional<MissionStats> mission;      ///< bench_mission runs
 
   /// Appends one aggregate row per suite cell for `results`; call once per
   /// method when a run covers several.
@@ -252,6 +293,12 @@ struct BaselineTolerance {
   double success_drop = 0.02;
   /// Allowed relative increase in mean park time over successful episodes.
   double park_time_slowdown = 0.10;
+  /// Allowed absolute drop in per-template mission success ratio.
+  double mission_success_drop = 0.02;
+  /// Allowed absolute change (either direction) in replans per mission: a
+  /// contested template that stops forcing replans is as broken as one that
+  /// starts thrashing.
+  double mission_replan_delta = 0.5;
 };
 
 /// Outcome of comparing a fresh report against a committed baseline.

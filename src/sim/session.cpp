@@ -9,6 +9,23 @@
 
 namespace icoil::sim {
 
+namespace {
+world::Scenario with_start(world::Scenario scenario, const geom::Pose2& pose) {
+  scenario.start_pose = pose;
+  return scenario;
+}
+}  // namespace
+
+Session::Session(const world::Scenario& scenario, core::Controller& controller,
+                 std::uint64_t seed, const vehicle::State& start,
+                 double world_time, SimConfig config,
+                 const core::CancelToken* cancel)
+    : Session(with_start(scenario, start.pose), controller, seed, config,
+              cancel) {
+  state_ = start;  // carry the full state (speed, steer) across legs
+  world_.set_time(world_time);
+}
+
 Session::Session(const world::Scenario& scenario, core::Controller& controller,
                  std::uint64_t seed, SimConfig config,
                  const core::CancelToken* cancel)

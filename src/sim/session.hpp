@@ -42,12 +42,33 @@ class Session {
           std::uint64_t seed, SimConfig config = {},
           const core::CancelToken* cancel = nullptr);
 
+  /// Leg-chaining constructor: the ego starts from an explicit state
+  /// (pose AND carried speed) instead of the scenario's start_pose, and the
+  /// world clock starts at `world_time` so scripted obstacle phases stay
+  /// continuous across chained episodes. The scenario's start_pose is
+  /// rewritten to `start.pose` before the controller reset, so reference
+  /// planners plan from the true start. The episode timeout still allows
+  /// scenario.time_limit of LEG time (frames are counted from zero).
+  Session(const world::Scenario& scenario, core::Controller& controller,
+          std::uint64_t seed, const vehicle::State& start, double world_time,
+          SimConfig config = {}, const core::CancelToken* cancel = nullptr);
+
   /// Convenience spelling mirroring the open/step/result vocabulary.
   static Session open(const world::Scenario& scenario,
                       core::Controller& controller, std::uint64_t seed,
                       SimConfig config = {},
                       const core::CancelToken* cancel = nullptr) {
     return Session(scenario, controller, seed, config, cancel);
+  }
+
+  /// open() overload starting from an explicit ego state (mission legs).
+  static Session open(const world::Scenario& scenario,
+                      core::Controller& controller, std::uint64_t seed,
+                      const vehicle::State& start, double world_time,
+                      SimConfig config = {},
+                      const core::CancelToken* cancel = nullptr) {
+    return Session(scenario, controller, seed, start, world_time, config,
+                   cancel);
   }
 
   /// Advance one control frame (sense -> act -> integrate -> check).
@@ -77,8 +98,11 @@ class Session {
   /// the running partial tallies with a kTimeout placeholder outcome).
   const EpisodeResult& result() const { return result_; }
 
-  /// Frames stepped so far / the simulated clock they add up to.
+  /// Frames stepped so far / the simulated clock they add up to. frames()
+  /// is frame() under its aggregate-count name — callers tallying per-leg
+  /// totals read better with it.
   std::size_t frame() const { return frame_; }
+  std::size_t frames() const { return frame_; }
   double sim_time() const { return static_cast<double>(frame_) * config_.dt; }
 
   /// Replaces the per-frame wall-clock budget applied to FUTURE frames —
@@ -90,6 +114,11 @@ class Session {
   const SimConfig& config() const { return config_; }
   const vehicle::State& state() const { return state_; }
   const world::World& world() const { return world_; }
+  /// Mutable world access for co-simulation: the mission layer attaches a
+  /// world::WorldDriver (traffic agents) here before the first step. Don't
+  /// mutate the world mid-frame from anywhere else — the episode's
+  /// determinism is only guaranteed for driver-applied changes.
+  world::World& world_mutable() { return world_; }
 
  private:
   void finish(Outcome outcome, double park_time);

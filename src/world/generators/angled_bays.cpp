@@ -1,0 +1,99 @@
+// Echelon (angled) bay row: bays lean toward oncoming aisle traffic so the
+// drive-in maneuver is a shallow arc instead of a 90-degree turn. Bay
+// headings follow the shared opening convention, so goal retargeting and
+// ParkingLotMap::bay_parked_pose work unchanged; the maneuver class the
+// planner sees is genuinely different from the perpendicular families.
+// Recognized parameters:
+//   angle_deg   bay lean from perpendicular (default 45, clamped 30..60)
+//   bays        bays in the row (default 8, clamped 4..10)
+//   occupancy   probability a non-goal bay holds a parked car (default 0.65)
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/angles.hpp"
+#include "world/generators/common.hpp"
+#include "world/generators/generator.hpp"
+
+namespace icoil::world {
+namespace {
+
+class AngledBaysGenerator final : public ScenarioGenerator {
+ public:
+  std::string name() const override { return "angled_bays"; }
+  std::string description() const override {
+    return "Echelon bay row at a lean angle (angle_deg, default 45; bays, "
+           "default 8; occupancy, default 0.65) + patrol and pedestrian";
+  }
+
+  GeneratorOutput build(const GeneratorParams& params, Difficulty,
+                        math::Rng& rng) const override {
+    GeneratorOutput out;
+    const double lean =
+        geom::deg2rad(std::clamp(params.get("angle_deg", 45.0), 30.0, 60.0));
+    const int n = std::clamp(params.get_int("bays", 8), 4, 10);
+    const double occupancy = params.get("occupancy", 0.65);
+
+    constexpr double kHalfDepth = 2.75;
+    constexpr double kHalfWidth = 1.5;
+    // Opening points up and toward +x: vehicles entering from the left
+    // sweep into the bay without reversing direction.
+    const double heading = geom::kPi / 2.0 - lean;
+
+    ParkingLotMap& m = out.map;
+    m.bounds = {{0.0, 0.0}, {44.0, 16.0}};
+    // Horizontal pitch that keeps adjacent (parallel) bays from
+    // overlapping: the centre offset projected on the bay's lateral axis
+    // must exceed the bay width; cos(lean) is that projection factor.
+    const double pitch = (2.0 * kHalfWidth + 0.2) / std::cos(lean);
+    // Vertical half extent of a leaned bay, to sit the row on the bottom edge.
+    const double cy =
+        kHalfDepth * std::cos(lean) + kHalfWidth * std::sin(lean) + 0.1;
+    const double x1 = 7.0;
+    for (int i = 0; i < n; ++i)
+      m.bays.push_back(
+          geom::Obb{{x1 + pitch * i, cy}, heading, kHalfDepth, kHalfWidth});
+
+    m.goal_bay_index = static_cast<std::size_t>(n / 2);
+    m.goal_pose = m.bay_parked_pose(m.goal_bay_index);
+    const double gx = m.goal_bay().center.x;
+    const double row_top = 2.0 * cy;  // highest bay corner, by construction
+
+    m.spawn_close = {{gx - 3.5, row_top + 1.2}, {gx + 3.5, row_top + 2.6}};
+    m.spawn_remote = {{2.0, row_top + 1.2}, {6.5, row_top + 2.6}};
+    m.spawn_random = {{2.0, row_top + 1.2}, {gx + 3.5, row_top + 2.6}};
+
+    int id = 0;
+    for (std::size_t b = 0; b < m.bays.size(); ++b) {
+      if (b == m.goal_bay_index) continue;
+      if (!rng.bernoulli(occupancy)) continue;
+      append_parked_car(m, b, rng, out.obstacles, id);
+    }
+
+    Obstacle patrol;
+    patrol.id = id++;
+    patrol.name = "patrol_vehicle";
+    patrol.shape = geom::Obb{{0.0, 0.0}, 0.0, 2.1, 0.9};
+    patrol.motion.waypoints = {{5.0, 12.8}, {39.0, 12.8}};
+    patrol.motion.speed = 1.2;
+    out.obstacles.push_back(patrol);
+
+    Obstacle ped;
+    ped.id = id++;
+    ped.name = "pedestrian";
+    ped.shape = geom::Obb{{0.0, 0.0}, 0.0, 0.35, 0.35};
+    ped.motion.waypoints = {{gx + 5.0, row_top + 0.4}, {gx + 5.0, 13.6}};
+    ped.motion.speed = 0.7;
+    ped.motion.phase = 2.5;
+    out.obstacles.push_back(ped);
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ScenarioGenerator> make_angled_bays_generator() {
+  return std::make_unique<AngledBaysGenerator>();
+}
+
+}  // namespace icoil::world

@@ -25,6 +25,22 @@ Obstacle make_crossing_pedestrian(int id) {
   return ped;
 }
 
+void append_parked_car(const ParkingLotMap& map, std::size_t bay_index,
+                       math::Rng& rng, std::vector<Obstacle>& out,
+                       int& next_id) {
+  const geom::Obb& bay = map.bays[bay_index];
+  const geom::Vec2 dir{std::cos(bay.heading), std::sin(bay.heading)};
+  const geom::Vec2 lat = dir.perp();
+  const double along = 0.15 + rng.uniform(-0.3, 0.3);
+  const double across = rng.uniform(-0.15, 0.15);
+  Obstacle car;
+  car.id = next_id++;
+  car.name = "parked_car_bay" + std::to_string(bay_index);
+  car.shape = geom::Obb{bay.center + dir * along + lat * across,
+                        bay.heading + rng.uniform(-0.05, 0.05), 2.1, 0.9};
+  out.push_back(car);
+}
+
 void append_flanking_cars(const ParkingLotMap& map,
                           std::vector<Obstacle>& out, int& next_id) {
   const double bay_heading = geom::kPi / 2.0;

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "mathkit/rng.hpp"
 #include "world/map.hpp"
 #include "world/obstacle.hpp"
 
@@ -22,5 +23,12 @@ Obstacle make_crossing_pedestrian(int id);
 /// advanced past the ids consumed.
 void append_flanking_cars(const ParkingLotMap& map,
                           std::vector<Obstacle>& out, int& next_id);
+
+/// Append one jittered parked car into bay `bay_index` of `map`, nudged
+/// ~0.15 m toward the bay opening (the canonical parked-car placement),
+/// valid for any bay orientation under the bay-heading convention.
+void append_parked_car(const ParkingLotMap& map, std::size_t bay_index,
+                       math::Rng& rng, std::vector<Obstacle>& out,
+                       int& next_id);
 
 }  // namespace icoil::world

@@ -55,5 +55,8 @@ std::unique_ptr<ScenarioGenerator> make_perpendicular_generator();
 std::unique_ptr<ScenarioGenerator> make_parallel_street_generator();
 std::unique_ptr<ScenarioGenerator> make_crowded_lot_generator();
 std::unique_ptr<ScenarioGenerator> make_dynamic_gauntlet_generator();
+std::unique_ptr<ScenarioGenerator> make_multi_row_lot_generator();
+std::unique_ptr<ScenarioGenerator> make_angled_bays_generator();
+std::unique_ptr<ScenarioGenerator> make_narrow_garage_generator();
 
 }  // namespace icoil::world

@@ -1,0 +1,106 @@
+// Four-row supermarket lot: two back-to-back middle rows between a bottom
+// and a top row, served by two 7 m aisles that cruising traffic can loop
+// around. This is the default mission map (quiet_lot / contested_lot /
+// rush_hour reference its fixed aisle coordinates). The goal bay sits in
+// the bottom row; every bay follows the bay-heading convention (heading
+// points toward the aisle opening), so ParkingLotMap::bay_parked_pose is
+// valid for all four rows and missions can retarget any free bay.
+// Recognized parameters:
+//   bays_per_row  bays in each of the four rows (default 8, clamped 4..12)
+//   occupancy     probability a non-goal bay holds a parked car (default 0.6)
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/angles.hpp"
+#include "world/generators/common.hpp"
+#include "world/generators/generator.hpp"
+
+namespace icoil::world {
+namespace {
+
+class MultiRowLotGenerator final : public ScenarioGenerator {
+ public:
+  std::string name() const override { return "multi_row_lot"; }
+  std::string description() const override {
+    return "48x36 four-row lot with two aisles (bays_per_row, default 8; "
+           "occupancy, default 0.6) + patrol and pedestrian";
+  }
+
+  GeneratorOutput build(const GeneratorParams& params, Difficulty,
+                        math::Rng& rng) const override {
+    GeneratorOutput out;
+    const int n = std::clamp(params.get_int("bays_per_row", 8), 4, 12);
+    const double occupancy = params.get("occupancy", 0.6);
+
+    constexpr double kBayWidth = 3.0;
+    constexpr double kHalfDepth = 2.75;  // 5.5 m bays, as everywhere else
+    constexpr double kUp = geom::kPi / 2.0;
+
+    ParkingLotMap& m = out.map;
+    m.bounds = {{0.0, 0.0}, {48.0, 36.0}};
+    const double x0 = (48.0 - kBayWidth * n) / 2.0 + kBayWidth * 0.5;
+
+    // Row centre lines: bottom (opens up), back-to-back middle pair, top
+    // (opens down). Aisles: y in [5.5, 12.5] and [23.5, 30.5].
+    const struct {
+      double cy;
+      double heading;
+    } rows[4] = {{2.75, kUp},     // bottom row -> bottom aisle
+                 {15.25, -kUp},   // middle-lower -> bottom aisle
+                 {20.75, kUp},    // middle-upper -> top aisle
+                 {33.25, -kUp}};  // top row -> top aisle
+    for (const auto& row : rows)
+      for (int i = 0; i < n; ++i)
+        m.bays.push_back(geom::Obb{{x0 + kBayWidth * i, row.cy}, row.heading,
+                                   kHalfDepth, kBayWidth * 0.5});
+
+    // Goal: middle of the bottom row (same reverse-in maneuver class as the
+    // canonical lot).
+    m.goal_bay_index = static_cast<std::size_t>(n / 2);
+    m.goal_pose = m.bay_parked_pose(m.goal_bay_index);
+    const double gx = m.goal_bay().center.x;
+
+    // Spawn bands live in the lower half of the bottom aisle; cruising
+    // traffic uses the upper half (y ~ 11.3), which keeps spawns clear of
+    // the patrol lane for any start heading the scenario sampler draws.
+    m.spawn_close = {{gx - 3.5, 6.9}, {gx + 3.5, 8.3}};
+    m.spawn_remote = {{2.5, 6.9}, {8.5, 8.3}};
+    m.spawn_random = {{2.5, 6.9}, {gx + 3.5, 8.3}};
+
+    int id = 0;
+    for (std::size_t b = 0; b < m.bays.size(); ++b) {
+      if (b == m.goal_bay_index) continue;
+      if (!rng.bernoulli(occupancy)) continue;
+      append_parked_car(m, b, rng, out.obstacles, id);
+    }
+
+    // Dynamics last (easy difficulty keeps the leading static block): one
+    // patrol in each aisle's traffic lane plus a crossing near the goal.
+    Obstacle patrol;
+    patrol.id = id++;
+    patrol.name = "patrol_vehicle";
+    patrol.shape = geom::Obb{{0.0, 0.0}, 0.0, 2.1, 0.9};
+    patrol.motion.waypoints = {{6.0, 11.3}, {42.0, 11.3}};
+    patrol.motion.speed = 1.2;
+    out.obstacles.push_back(patrol);
+
+    Obstacle ped;
+    ped.id = id++;
+    ped.name = "pedestrian";
+    ped.shape = geom::Obb{{0.0, 0.0}, 0.0, 0.35, 0.35};
+    ped.motion.waypoints = {{gx + 4.5, 5.8}, {gx + 4.5, 12.2}};
+    ped.motion.speed = 0.7;
+    ped.motion.phase = 2.0;
+    out.obstacles.push_back(ped);
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ScenarioGenerator> make_multi_row_lot_generator() {
+  return std::make_unique<MultiRowLotGenerator>();
+}
+
+}  // namespace icoil::world

@@ -1,0 +1,118 @@
+// Underground-garage strip: two facing bay rows squeezed around a single
+// narrow aisle, with structural pillars at the row ends. The aisle width is
+// the difficulty knob — at the default 5.6 m the reverse-in maneuver needs
+// a multi-point turn, which is exactly the regime the paper's CO planner is
+// for. Bays are slightly shallower (5.0 m) than the open-lot families, as
+// real garages are. Recognized parameters:
+//   aisle_width   clear width between the rows (default 5.6, clamped 4.8..8)
+//   bays_per_row  bays in each row (default 7, clamped 4..10)
+//   occupancy     probability a non-goal bay holds a parked car (default 0.65)
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/angles.hpp"
+#include "world/generators/common.hpp"
+#include "world/generators/generator.hpp"
+
+namespace icoil::world {
+namespace {
+
+class NarrowGarageGenerator final : public ScenarioGenerator {
+ public:
+  std::string name() const override { return "narrow_garage"; }
+  std::string description() const override {
+    return "Two facing rows around one tight aisle with end pillars "
+           "(aisle_width, default 5.6; bays_per_row, default 7; occupancy, "
+           "default 0.65)";
+  }
+
+  GeneratorOutput build(const GeneratorParams& params, Difficulty,
+                        math::Rng& rng) const override {
+    GeneratorOutput out;
+    const double aisle = std::clamp(params.get("aisle_width", 5.6), 4.8, 8.0);
+    const int n = std::clamp(params.get_int("bays_per_row", 7), 4, 10);
+    const double occupancy = params.get("occupancy", 0.65);
+
+    constexpr double kBayWidth = 3.0;
+    constexpr double kHalfDepth = 2.5;  // 5.0 m garage bays
+    constexpr double kUp = geom::kPi / 2.0;
+
+    ParkingLotMap& m = out.map;
+    const double height = 2.0 * (2.0 * kHalfDepth) + aisle;
+    const double width = 9.0 + kBayWidth * n;
+    m.bounds = {{0.0, 0.0}, {width, height}};
+    const double x0 = 6.0;
+    for (int i = 0; i < n; ++i)  // bottom row, opens up
+      m.bays.push_back(
+          geom::Obb{{x0 + kBayWidth * i, kHalfDepth}, kUp, kHalfDepth,
+                    kBayWidth * 0.5});
+    for (int i = 0; i < n; ++i)  // top row, opens down
+      m.bays.push_back(geom::Obb{{x0 + kBayWidth * i, height - kHalfDepth},
+                                 -kUp, kHalfDepth, kBayWidth * 0.5});
+
+    m.goal_bay_index = static_cast<std::size_t>(n / 2);
+    m.goal_pose = m.bay_parked_pose(m.goal_bay_index);
+    const double gx = m.goal_bay().center.x;
+
+    // One spawn band along the aisle centre line; remote starts in the
+    // pillar-free entry zone left of the rows.
+    const double mid = height * 0.5;
+    m.spawn_close = {{gx - 3.0, mid - 0.9}, {gx + 3.0, mid - 0.1}};
+    m.spawn_remote = {{1.5, mid - 0.9}, {4.0, mid - 0.1}};
+    m.spawn_random = {{1.5, mid - 0.9}, {gx + 3.0, mid - 0.1}};
+
+    int id = 0;
+    for (std::size_t b = 0; b < m.bays.size(); ++b) {
+      if (b == m.goal_bay_index) continue;
+      if (!rng.bernoulli(occupancy)) continue;
+      append_parked_car(m, b, rng, out.obstacles, id);
+    }
+
+    // Structural pillars at the four row-end corners of the aisle.
+    const double row_edge = 2.0 * kHalfDepth;
+    for (const double px : {x0 - 1.9, x0 + kBayWidth * n - 1.1}) {
+      for (const double py : {row_edge + 0.45, height - row_edge - 0.45}) {
+        Obstacle pillar;
+        pillar.id = id++;
+        pillar.name = "pillar";
+        pillar.shape = geom::Obb{{px, py}, 0.0, 0.35, 0.35};
+        out.obstacles.push_back(pillar);
+      }
+    }
+
+    // Dynamics: pedestrians only. The aisle is too narrow to y-separate a
+    // patrol lane from the spawn band, and make_scenario's phase jitter can
+    // park a patrol anywhere along its path — a vehicle here would make some
+    // seeds' start-pose search unwinnable. Small crossing pedestrians keep
+    // the scene dynamic without blocking spawns.
+    Obstacle ped;
+    ped.id = id++;
+    ped.name = "pedestrian";
+    ped.shape = geom::Obb{{0.0, 0.0}, 0.0, 0.35, 0.35};
+    ped.motion.waypoints = {{gx - 4.5, row_edge + 0.4},
+                            {gx - 4.5, height - row_edge - 0.4}};
+    ped.motion.speed = 0.6;
+    ped.motion.phase = 1.5;
+    out.obstacles.push_back(ped);
+
+    Obstacle ped2;
+    ped2.id = id++;
+    ped2.name = "pedestrian_far";
+    ped2.shape = geom::Obb{{0.0, 0.0}, 0.0, 0.35, 0.35};
+    ped2.motion.waypoints = {{x0 + kBayWidth * n - 2.0, row_edge + 0.4},
+                             {x0 + kBayWidth * n - 2.0, height - row_edge - 0.4}};
+    ped2.motion.speed = 0.7;
+    ped2.motion.phase = 4.0;
+    out.obstacles.push_back(ped2);
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ScenarioGenerator> make_narrow_garage_generator() {
+  return std::make_unique<NarrowGarageGenerator>();
+}
+
+}  // namespace icoil::world

@@ -10,6 +10,9 @@ GeneratorRegistry::GeneratorRegistry() {
   add(make_parallel_street_generator());
   add(make_crowded_lot_generator());
   add(make_dynamic_gauntlet_generator());
+  add(make_multi_row_lot_generator());
+  add(make_angled_bays_generator());
+  add(make_narrow_garage_generator());
 }
 
 GeneratorRegistry& GeneratorRegistry::instance() {

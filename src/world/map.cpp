@@ -1,8 +1,20 @@
 #include "world/map.hpp"
 
+#include <cmath>
+
 #include "geom/angles.hpp"
 
 namespace icoil::world {
+
+geom::Pose2 ParkingLotMap::bay_parked_pose(std::size_t i) const {
+  const geom::Obb& bay = bays[i];
+  // Rear axle 1.15 m behind the bay centre, nose toward the opening. With
+  // the standard 5.5 m bay this reproduces the paper's goal pose exactly
+  // (centre 2.75 - 1.15 = 1.6 m into the bay).
+  const geom::Vec2 dir{std::cos(bay.heading), std::sin(bay.heading)};
+  return {{bay.center.x - dir.x * 1.15, bay.center.y - dir.y * 1.15},
+          bay.heading};
+}
 
 ParkingLotMap ParkingLotMap::standard() {
   ParkingLotMap m;

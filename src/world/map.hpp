@@ -22,6 +22,13 @@ struct ParkingLotMap {
 
   const geom::Obb& goal_bay() const { return bays[goal_bay_index]; }
 
+  /// Reverse-in parked pose for bay `i` under the shared bay convention: a
+  /// bay OBB's heading points from the bay floor toward its aisle opening,
+  /// so the parked vehicle faces the aisle with its rear axle 1.15 m behind
+  /// the bay centre. Every generator's goal_pose is bay_parked_pose of its
+  /// goal bay, which is what lets the mission layer retarget any free bay.
+  geom::Pose2 bay_parked_pose(std::size_t i) const;
+
   /// The default MoCAM-style lot: 40 m x 30 m, six bays along the bottom,
   /// goal bay in the middle of the row.
   static ParkingLotMap standard();

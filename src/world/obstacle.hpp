@@ -30,6 +30,11 @@ struct Obstacle {
   std::string name;
   geom::Obb shape;       ///< footprint at t=0 (centre/heading overridden when dynamic)
   MotionScript motion;
+  /// Pose supplied per step by a world::WorldDriver (mission traffic agents)
+  /// instead of a MotionScript. The World classes driven obstacles as
+  /// dynamic even with an empty script; until the driver's first override
+  /// the footprint is `shape`.
+  bool driven = false;
 
   bool dynamic() const { return motion.dynamic(); }
   /// Footprint at simulation time `t`.

@@ -8,33 +8,69 @@ namespace icoil::world {
 
 World::World(Scenario scenario, WorldConfig config)
     : scenario_(std::move(scenario)), config_(config) {
+  slot_of_.assign(scenario_.obstacles.size(), -1);
   for (std::size_t i = 0; i < scenario_.obstacles.size(); ++i) {
     const Obstacle& o = scenario_.obstacles[i];
-    if (o.dynamic())
+    if (o.dynamic() || o.driven) {
+      slot_of_[i] = static_cast<int>(dynamic_indices_.size());
       dynamic_indices_.push_back(i);
-    else
+    } else {
       static_set_.push(o.shape);
+    }
   }
+  driven_.resize(dynamic_indices_.size());
   if (config_.backend == CollisionBackend::kGrid)
     field_.emplace(scenario_.map.bounds, static_set_.boxes(),
                    config_.grid_resolution);
   refresh_dynamic_boxes();
 }
 
+geom::Obb World::dynamic_footprint(std::size_t slot) const {
+  const Obstacle& o = scenario_.obstacles[dynamic_indices_[slot]];
+  if (driven_[slot].active) {
+    const DrivenPose& d = driven_[slot];
+    return {d.pose.position, d.pose.heading, o.shape.half_length,
+            o.shape.half_width};
+  }
+  return o.footprint_at(time_);
+}
+
 void World::refresh_dynamic_boxes() {
   dynamic_boxes_.resize(dynamic_indices_.size());
   dynamic_aabbs_.resize(dynamic_indices_.size());
   for (std::size_t k = 0; k < dynamic_indices_.size(); ++k) {
-    dynamic_boxes_[k] = scenario_.obstacles[dynamic_indices_[k]].footprint_at(time_);
+    dynamic_boxes_[k] = dynamic_footprint(k);
     dynamic_aabbs_[k] = dynamic_boxes_[k].aabb();
   }
+}
+
+void World::drive_obstacle(std::size_t index, const geom::Pose2& pose,
+                           geom::Vec2 velocity) {
+  const int slot = index < slot_of_.size() ? slot_of_[index] : -1;
+  if (slot < 0) return;  // static obstacles cannot be driven
+  driven_[static_cast<std::size_t>(slot)] = {pose, velocity, true};
+  // Queries between now and the enclosing refresh must already see the new
+  // pose (set_driver applies poses outside any step).
+  dynamic_boxes_[static_cast<std::size_t>(slot)] =
+      dynamic_footprint(static_cast<std::size_t>(slot));
+  dynamic_aabbs_[static_cast<std::size_t>(slot)] =
+      dynamic_boxes_[static_cast<std::size_t>(slot)].aabb();
 }
 
 std::vector<ObstacleState> World::obstacle_states() const {
   std::vector<ObstacleState> out;
   out.reserve(scenario_.obstacles.size());
-  for (const Obstacle& o : scenario_.obstacles) {
-    out.push_back({o.id, o.footprint_at(time_), o.velocity_at(time_), o.dynamic()});
+  for (std::size_t i = 0; i < scenario_.obstacles.size(); ++i) {
+    const Obstacle& o = scenario_.obstacles[i];
+    const int slot = slot_of_[i];
+    if (slot >= 0 && driven_[static_cast<std::size_t>(slot)].active) {
+      const DrivenPose& d = driven_[static_cast<std::size_t>(slot)];
+      out.push_back({o.id, dynamic_boxes_[static_cast<std::size_t>(slot)],
+                     d.velocity, true});
+    } else {
+      out.push_back(
+          {o.id, o.footprint_at(time_), o.velocity_at(time_), o.dynamic() || o.driven});
+    }
   }
   return out;
 }
@@ -42,7 +78,27 @@ std::vector<ObstacleState> World::obstacle_states() const {
 std::vector<geom::Obb> World::obstacle_boxes() const {
   std::vector<geom::Obb> out;
   out.reserve(scenario_.obstacles.size());
-  for (const Obstacle& o : scenario_.obstacles) out.push_back(o.footprint_at(time_));
+  for (std::size_t i = 0; i < scenario_.obstacles.size(); ++i) {
+    const int slot = slot_of_[i];
+    out.push_back(slot >= 0 ? dynamic_boxes_[static_cast<std::size_t>(slot)]
+                            : scenario_.obstacles[i].shape);
+  }
+  return out;
+}
+
+bool World::bay_occupied(std::size_t bay_index) const {
+  const geom::Obb& bay = scenario_.map.bays[bay_index];
+  for (const geom::Obb& s : static_set_.boxes())
+    if (bay.contains(s.center)) return true;
+  for (const geom::Obb& d : dynamic_boxes_)
+    if (bay.contains(d.center)) return true;
+  return false;
+}
+
+std::vector<std::size_t> World::free_bays() const {
+  std::vector<std::size_t> out;
+  for (std::size_t b = 0; b < scenario_.map.bays.size(); ++b)
+    if (!bay_occupied(b)) out.push_back(b);
   return out;
 }
 

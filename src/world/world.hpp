@@ -29,6 +29,21 @@ struct WorldConfig {
   double grid_resolution = DistanceField::kDefaultResolution;  ///< [m/cell]
 };
 
+class World;
+
+/// Per-step co-simulation hook: the mission layer attaches one of these to
+/// drive behaviour-driven traffic agents (world::Obstacle::driven). The
+/// World calls step(dt) inside World::step AFTER its clock advances and
+/// BEFORE footprints are re-cached, so collision, clearance and sensing
+/// queries in the same frame already see the driver's updated poses. The
+/// driver must only mutate the world through drive_obstacle (never the
+/// scenario roster) and must be deterministic in the world state it reads.
+class WorldDriver {
+ public:
+  virtual ~WorldDriver() = default;
+  virtual void step(World& world, double dt) = 0;
+};
+
 /// The live environment: advances dynamic obstacles and answers geometric
 /// queries (collisions, goal membership). The World owns ground truth; the
 /// sensing module corrupts it into observations.
@@ -41,9 +56,10 @@ class World {
   const WorldConfig& config() const { return config_; }
   double time() const { return time_; }
 
-  /// Advance world time (moves scripted obstacles).
+  /// Advance world time (moves scripted obstacles, then the driver's).
   void step(double dt) {
     time_ += dt;
+    if (driver_ != nullptr) driver_->step(*this, dt);
     refresh_dynamic_boxes();
   }
   /// Reset world time to zero.
@@ -51,6 +67,37 @@ class World {
     time_ = 0.0;
     refresh_dynamic_boxes();
   }
+  /// Set the world clock without stepping anything — mission legs carry the
+  /// elapsed mission time into each leg's fresh World so scripted patrol
+  /// phases (and the driver's time-triggered behaviours) stay continuous.
+  void set_time(double t) {
+    time_ = t;
+    refresh_dynamic_boxes();
+  }
+
+  /// Attach (or detach, with nullptr) the co-simulation driver. On attach
+  /// the driver is stepped once with dt = 0 — it applies its current agent
+  /// poses without advancing behaviour, so the world is consistent before
+  /// the first real step.
+  void set_driver(WorldDriver* driver) {
+    driver_ = driver;
+    if (driver_ != nullptr) driver_->step(*this, 0.0);
+    refresh_dynamic_boxes();
+  }
+
+  /// Override the pose/velocity of obstacle `index` (scenario order; the
+  /// obstacle must be scripted-dynamic or driven). The override sticks until
+  /// the next drive_obstacle for the same index and takes effect for every
+  /// query immediately. WorldDrivers call this; nothing else should.
+  void drive_obstacle(std::size_t index, const geom::Pose2& pose,
+                      geom::Vec2 velocity = {});
+
+  /// True when any obstacle footprint centre currently sits inside bay
+  /// `bay_index` — the physical half of bay contention (the mission layer's
+  /// BayLedger holds the intent half).
+  bool bay_occupied(std::size_t bay_index) const;
+  /// Indices of bays with no obstacle centre inside them, ascending.
+  std::vector<std::size_t> free_bays() const;
 
   /// Ground-truth obstacle footprints at the current time.
   std::vector<ObstacleState> obstacle_states() const;
@@ -97,11 +144,20 @@ class World {
                double heading_tol = 0.35) const;
 
  private:
+  /// Driver-supplied pose override for one dynamic slot.
+  struct DrivenPose {
+    geom::Pose2 pose;
+    geom::Vec2 velocity;
+    bool active = false;
+  };
+
   void refresh_dynamic_boxes();
+  geom::Obb dynamic_footprint(std::size_t slot) const;
 
   Scenario scenario_;
   WorldConfig config_;
   double time_ = 0.0;
+  WorldDriver* driver_ = nullptr;           ///< not owned; optional
   /// Broad-phase cache: static obstacle footprints never move, so their
   /// AABBs are computed once; dynamic obstacles are indexed for the
   /// per-query narrow phase.
@@ -109,6 +165,8 @@ class World {
   std::vector<std::size_t> dynamic_indices_;
   std::vector<geom::Obb> dynamic_boxes_;    ///< footprints at time_
   std::vector<geom::Aabb> dynamic_aabbs_;   ///< their AABBs (prefilter)
+  std::vector<DrivenPose> driven_;          ///< per-slot driver overrides
+  std::vector<int> slot_of_;                ///< obstacle index -> dynamic slot (-1 static)
   std::optional<DistanceField> field_;      ///< grid backend only
 };
 

@@ -11,8 +11,9 @@
 namespace icoil::world {
 namespace {
 
-const char* kBuiltins[] = {"canonical", "perpendicular", "parallel_street",
-                           "crowded_lot", "dynamic_gauntlet"};
+const char* kBuiltins[] = {"canonical",     "perpendicular", "parallel_street",
+                           "crowded_lot",   "dynamic_gauntlet",
+                           "multi_row_lot", "angled_bays",   "narrow_garage"};
 
 Scenario build(const std::string& generator, std::uint64_t seed,
                Difficulty difficulty = Difficulty::kNormal) {
@@ -26,7 +27,7 @@ Scenario build(const std::string& generator, std::uint64_t seed,
 
 TEST(GeneratorRegistryTest, BuiltinFamilyRegistered) {
   const auto& registry = GeneratorRegistry::instance();
-  EXPECT_GE(registry.size(), 5u);
+  EXPECT_GE(registry.size(), 8u);
   for (const char* name : kBuiltins) {
     const ScenarioGenerator* gen = registry.find(name);
     ASSERT_NE(gen, nullptr) << name;
@@ -276,6 +277,70 @@ TEST(PerpendicularTest, OccupancyBounds) {
   opt.params.set("occupancy", 0.0);
   const Scenario none = make_scenario(opt, 2);
   for (const Obstacle& o : none.obstacles) EXPECT_TRUE(o.dynamic());
+}
+
+TEST(MissionFamilyTest, MultiRowLotLayout) {
+  const Scenario sc = build("multi_row_lot", 6);
+  EXPECT_EQ(sc.map.bays.size(), 32u);  // 4 rows x 8 bays
+  EXPECT_DOUBLE_EQ(sc.map.bounds.max.x, 48.0);
+  EXPECT_DOUBLE_EQ(sc.map.bounds.max.y, 36.0);
+  // Goal is the parked pose of the goal bay under the shared convention.
+  const geom::Pose2 parked = sc.map.bay_parked_pose(sc.map.goal_bay_index);
+  EXPECT_DOUBLE_EQ(sc.map.goal_pose.x(), parked.x());
+  EXPECT_DOUBLE_EQ(sc.map.goal_pose.y(), parked.y());
+  EXPECT_DOUBLE_EQ(sc.map.goal_pose.heading, parked.heading);
+  // Every bay heading points toward an aisle, so the parked pose of any bay
+  // stays inside its bay (missions retarget arbitrary free bays).
+  for (std::size_t b = 0; b < sc.map.bays.size(); ++b)
+    EXPECT_TRUE(sc.map.bays[b].contains(sc.map.bay_parked_pose(b).position))
+        << "bay " << b;
+}
+
+TEST(MissionFamilyTest, MultiRowLotBayCountParameter) {
+  ScenarioOptions opt;
+  opt.generator = "multi_row_lot";
+  opt.difficulty = Difficulty::kNormal;
+  opt.params.set("bays_per_row", 4);
+  const Scenario sc = make_scenario(opt, 1);
+  EXPECT_EQ(sc.map.bays.size(), 16u);
+  opt.params.set("occupancy", 1.0);
+  const Scenario full = make_scenario(opt, 1);
+  int statics = 0;
+  for (const Obstacle& o : full.obstacles) statics += o.dynamic() ? 0 : 1;
+  EXPECT_EQ(statics, 15);  // every non-goal bay holds a parked car
+}
+
+TEST(MissionFamilyTest, AngledBaysLeanAndConvention) {
+  ScenarioOptions opt;
+  opt.generator = "angled_bays";
+  opt.difficulty = Difficulty::kNormal;
+  opt.params.set("angle_deg", 45.0);
+  const Scenario sc = make_scenario(opt, 3);
+  EXPECT_EQ(sc.map.bays.size(), 8u);
+  for (const geom::Obb& bay : sc.map.bays)
+    EXPECT_NEAR(bay.heading, geom::kPi / 4.0, 1e-12);
+  const geom::Pose2 parked = sc.map.bay_parked_pose(sc.map.goal_bay_index);
+  EXPECT_DOUBLE_EQ(sc.map.goal_pose.heading, parked.heading);
+  EXPECT_TRUE(sc.map.goal_bay().contains(sc.map.goal_pose.position));
+  // Adjacent bays never overlap despite the lean.
+  for (std::size_t i = 0; i + 1 < sc.map.bays.size(); ++i)
+    EXPECT_FALSE(geom::overlaps(sc.map.bays[i], sc.map.bays[i + 1])) << i;
+}
+
+TEST(MissionFamilyTest, NarrowGarageAisleParameter) {
+  ScenarioOptions opt;
+  opt.generator = "narrow_garage";
+  opt.difficulty = Difficulty::kNormal;
+  opt.params.set("aisle_width", 5.0);
+  const Scenario sc = make_scenario(opt, 2);
+  EXPECT_EQ(sc.map.bays.size(), 14u);  // 2 rows x 7 bays
+  EXPECT_DOUBLE_EQ(sc.map.bounds.max.y, 15.0);  // 2 x 5.0 depth + aisle
+  // Facing rows: bottom opens up, top opens down.
+  EXPECT_NEAR(sc.map.bays.front().heading, geom::kPi / 2.0, 1e-12);
+  EXPECT_NEAR(sc.map.bays.back().heading, -geom::kPi / 2.0, 1e-12);
+  int pillars = 0;
+  for (const Obstacle& o : sc.obstacles) pillars += o.name == "pillar" ? 1 : 0;
+  EXPECT_EQ(pillars, 4);
 }
 
 TEST(GeneratorOverrideTest, RosterTruncationAppliesToEveryFamily) {
